@@ -1,0 +1,15 @@
+//! Java-flavoured collection applications, in the style of Doug Lea's
+//! `collections` package: state lives in cell/entry objects manipulated
+//! through accessor methods, so mutation sequences interleave with many
+//! injectable calls.
+
+pub mod circular_list;
+pub mod dynarray;
+pub mod hashed_map;
+pub mod hashed_set;
+pub mod linked_buffer;
+pub mod linked_list;
+pub mod llmap;
+pub(crate) mod rbcore;
+pub mod rbmap;
+pub mod rbtree;

@@ -1,0 +1,432 @@
+//! Shared red-black tree machinery used by the `RBMap` and `RBTree`
+//! applications: node class registration, the CLR rotations and fixups
+//! (as in `java.util.TreeMap`), and a host-side invariant checker.
+//!
+//! All helpers operate through node *accessor methods*, so every pointer
+//! update is a separate injectable call — faithfully reproducing how the
+//! original Java collections behave under the paper's instrumentation.
+
+use crate::util::int;
+use atomask_mor::{Ctx, MethodResult, ObjId, RegistryBuilder, Value, Vm};
+
+pub(crate) const RED: i64 = 0;
+pub(crate) const BLACK: i64 = 1;
+
+pub(crate) fn register_node(rb: &mut RegistryBuilder, class: &str) {
+    rb.class(class, |c| {
+        c.field("key", int(0));
+        c.field("value", Value::Null);
+        c.field("color", int(RED));
+        c.field("left", Value::Null);
+        c.field("right", Value::Null);
+        c.field("parent", Value::Null);
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "key", args[0].clone());
+            if let Some(v) = args.get(1) {
+                ctx.set(this, "value", v.clone());
+            }
+            if let Some(p) = args.get(2) {
+                ctx.set(this, "parent", p.clone());
+            }
+            Ok(Value::Null)
+        });
+        c.method("key", |ctx, this, _| Ok(ctx.get(this, "key")));
+        c.method("value", |ctx, this, _| Ok(ctx.get(this, "value")));
+        c.method("setValue", |ctx, this, args| {
+            ctx.set(this, "value", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("setKey", |ctx, this, args| {
+            ctx.set(this, "key", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("color", |ctx, this, _| Ok(ctx.get(this, "color")));
+        c.method("setColor", |ctx, this, args| {
+            ctx.set(this, "color", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("left", |ctx, this, _| Ok(ctx.get(this, "left")));
+        c.method("setLeft", |ctx, this, args| {
+            ctx.set(this, "left", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("right", |ctx, this, _| Ok(ctx.get(this, "right")));
+        c.method("setRight", |ctx, this, args| {
+            ctx.set(this, "right", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("parent", |ctx, this, _| Ok(ctx.get(this, "parent")));
+        c.method("setParent", |ctx, this, args| {
+            ctx.set(this, "parent", args[0].clone());
+            Ok(Value::Null)
+        });
+    });
+}
+
+// --- null-safe helpers used by the tree methods (TreeMap's static
+// colorOf/parentOf/leftOf/rightOf) ---
+
+pub(crate) fn color_of(ctx: &mut Ctx<'_>, n: &Value) -> Result<i64, atomask_mor::Exception> {
+    if n.is_null() {
+        return Ok(BLACK);
+    }
+    Ok(ctx.call_value(n, "color", &[])?.as_int().unwrap_or(BLACK))
+}
+
+pub(crate) fn set_color(ctx: &mut Ctx<'_>, n: &Value, c: i64) -> Result<(), atomask_mor::Exception> {
+    if !n.is_null() {
+        ctx.call_value(n, "setColor", &[int(c)])?;
+    }
+    Ok(())
+}
+
+pub(crate) fn parent_of(ctx: &mut Ctx<'_>, n: &Value) -> MethodResult {
+    if n.is_null() {
+        return Ok(Value::Null);
+    }
+    ctx.call_value(n, "parent", &[])
+}
+
+pub(crate) fn left_of(ctx: &mut Ctx<'_>, n: &Value) -> MethodResult {
+    if n.is_null() {
+        return Ok(Value::Null);
+    }
+    ctx.call_value(n, "left", &[])
+}
+
+pub(crate) fn right_of(ctx: &mut Ctx<'_>, n: &Value) -> MethodResult {
+    if n.is_null() {
+        return Ok(Value::Null);
+    }
+    ctx.call_value(n, "right", &[])
+}
+
+pub(crate) fn key_of(ctx: &mut Ctx<'_>, n: &Value) -> Result<i64, atomask_mor::Exception> {
+    Ok(ctx.call_value(n, "key", &[])?.as_int().unwrap_or(0))
+}
+
+/// TreeMap's `rotateLeft`, on a map instance.
+pub(crate) fn rotate_left(ctx: &mut Ctx<'_>, this: ObjId, p: &Value) -> Result<(), atomask_mor::Exception> {
+    if p.is_null() {
+        return Ok(());
+    }
+    let r = right_of(ctx, p)?;
+    let rl = left_of(ctx, &r)?;
+    ctx.call_value(p, "setRight", &[rl.clone()])?;
+    if !rl.is_null() {
+        ctx.call_value(&rl, "setParent", &[p.clone()])?;
+    }
+    let pp = parent_of(ctx, p)?;
+    ctx.call_value(&r, "setParent", &[pp.clone()])?;
+    if pp.is_null() {
+        ctx.set(this, "root", r.clone());
+    } else if left_of(ctx, &pp)? == *p {
+        ctx.call_value(&pp, "setLeft", &[r.clone()])?;
+    } else {
+        ctx.call_value(&pp, "setRight", &[r.clone()])?;
+    }
+    ctx.call_value(&r, "setLeft", &[p.clone()])?;
+    ctx.call_value(p, "setParent", &[r])?;
+    Ok(())
+}
+
+/// TreeMap's `rotateRight`.
+pub(crate) fn rotate_right(ctx: &mut Ctx<'_>, this: ObjId, p: &Value) -> Result<(), atomask_mor::Exception> {
+    if p.is_null() {
+        return Ok(());
+    }
+    let l = left_of(ctx, p)?;
+    let lr = right_of(ctx, &l)?;
+    ctx.call_value(p, "setLeft", &[lr.clone()])?;
+    if !lr.is_null() {
+        ctx.call_value(&lr, "setParent", &[p.clone()])?;
+    }
+    let pp = parent_of(ctx, p)?;
+    ctx.call_value(&l, "setParent", &[pp.clone()])?;
+    if pp.is_null() {
+        ctx.set(this, "root", l.clone());
+    } else if right_of(ctx, &pp)? == *p {
+        ctx.call_value(&pp, "setRight", &[l.clone()])?;
+    } else {
+        ctx.call_value(&pp, "setLeft", &[l.clone()])?;
+    }
+    ctx.call_value(&l, "setRight", &[p.clone()])?;
+    ctx.call_value(p, "setParent", &[l])?;
+    Ok(())
+}
+
+/// TreeMap's `fixAfterInsertion`.
+pub(crate) fn fix_after_insertion(
+    ctx: &mut Ctx<'_>,
+    this: ObjId,
+    x0: Value,
+) -> Result<(), atomask_mor::Exception> {
+    let mut x = x0;
+    set_color(ctx, &x, RED)?;
+    loop {
+        if x.is_null() || x == ctx.get(this, "root") {
+            break;
+        }
+        let xp = parent_of(ctx, &x)?;
+        if color_of(ctx, &xp)? != RED {
+            break;
+        }
+        let xpp = parent_of(ctx, &xp)?;
+        if xp == left_of(ctx, &xpp)? {
+            let y = right_of(ctx, &xpp)?;
+            if color_of(ctx, &y)? == RED {
+                set_color(ctx, &xp, BLACK)?;
+                set_color(ctx, &y, BLACK)?;
+                set_color(ctx, &xpp, RED)?;
+                x = xpp;
+            } else {
+                if x == right_of(ctx, &xp)? {
+                    x = xp;
+                    rotate_left(ctx, this, &x.clone())?;
+                }
+                let xp = parent_of(ctx, &x)?;
+                set_color(ctx, &xp, BLACK)?;
+                let xpp = parent_of(ctx, &xp)?;
+                set_color(ctx, &xpp, RED)?;
+                rotate_right(ctx, this, &xpp)?;
+            }
+        } else {
+            let y = left_of(ctx, &xpp)?;
+            if color_of(ctx, &y)? == RED {
+                set_color(ctx, &xp, BLACK)?;
+                set_color(ctx, &y, BLACK)?;
+                set_color(ctx, &xpp, RED)?;
+                x = xpp;
+            } else {
+                if x == left_of(ctx, &xp)? {
+                    x = xp;
+                    rotate_right(ctx, this, &x.clone())?;
+                }
+                let xp = parent_of(ctx, &x)?;
+                set_color(ctx, &xp, BLACK)?;
+                let xpp = parent_of(ctx, &xp)?;
+                set_color(ctx, &xpp, RED)?;
+                rotate_left(ctx, this, &xpp)?;
+            }
+        }
+    }
+    let root = ctx.get(this, "root");
+    set_color(ctx, &root, BLACK)?;
+    Ok(())
+}
+
+/// TreeMap's `fixAfterDeletion`.
+pub(crate) fn fix_after_deletion(
+    ctx: &mut Ctx<'_>,
+    this: ObjId,
+    x0: Value,
+) -> Result<(), atomask_mor::Exception> {
+    let mut x = x0;
+    while x != ctx.get(this, "root") && color_of(ctx, &x)? == BLACK {
+        let xp = parent_of(ctx, &x)?;
+        if x == left_of(ctx, &xp)? {
+            let mut sib = right_of(ctx, &xp)?;
+            if color_of(ctx, &sib)? == RED {
+                set_color(ctx, &sib, BLACK)?;
+                set_color(ctx, &xp, RED)?;
+                rotate_left(ctx, this, &xp)?;
+                let xp = parent_of(ctx, &x)?;
+                sib = right_of(ctx, &xp)?;
+            }
+            let sl = left_of(ctx, &sib)?;
+            let sr = right_of(ctx, &sib)?;
+            if color_of(ctx, &sl)? == BLACK && color_of(ctx, &sr)? == BLACK {
+                set_color(ctx, &sib, RED)?;
+                x = parent_of(ctx, &x)?;
+            } else {
+                if color_of(ctx, &sr)? == BLACK {
+                    set_color(ctx, &sl, BLACK)?;
+                    set_color(ctx, &sib, RED)?;
+                    rotate_right(ctx, this, &sib)?;
+                    let xp = parent_of(ctx, &x)?;
+                    sib = right_of(ctx, &xp)?;
+                }
+                let xp = parent_of(ctx, &x)?;
+                let pc = color_of(ctx, &xp)?;
+                set_color(ctx, &sib, pc)?;
+                set_color(ctx, &xp, BLACK)?;
+                let sr = right_of(ctx, &sib)?;
+                set_color(ctx, &sr, BLACK)?;
+                rotate_left(ctx, this, &xp)?;
+                x = ctx.get(this, "root");
+            }
+        } else {
+            let mut sib = left_of(ctx, &xp)?;
+            if color_of(ctx, &sib)? == RED {
+                set_color(ctx, &sib, BLACK)?;
+                set_color(ctx, &xp, RED)?;
+                rotate_right(ctx, this, &xp)?;
+                let xp = parent_of(ctx, &x)?;
+                sib = left_of(ctx, &xp)?;
+            }
+            let sr = right_of(ctx, &sib)?;
+            let sl = left_of(ctx, &sib)?;
+            if color_of(ctx, &sr)? == BLACK && color_of(ctx, &sl)? == BLACK {
+                set_color(ctx, &sib, RED)?;
+                x = parent_of(ctx, &x)?;
+            } else {
+                if color_of(ctx, &sl)? == BLACK {
+                    set_color(ctx, &sr, BLACK)?;
+                    set_color(ctx, &sib, RED)?;
+                    rotate_left(ctx, this, &sib)?;
+                    let xp = parent_of(ctx, &x)?;
+                    sib = left_of(ctx, &xp)?;
+                }
+                let xp = parent_of(ctx, &x)?;
+                let pc = color_of(ctx, &xp)?;
+                set_color(ctx, &sib, pc)?;
+                set_color(ctx, &xp, BLACK)?;
+                let sl = left_of(ctx, &sib)?;
+                set_color(ctx, &sl, BLACK)?;
+                rotate_right(ctx, this, &xp)?;
+                x = ctx.get(this, "root");
+            }
+        }
+    }
+    set_color(ctx, &x, BLACK)?;
+    Ok(())
+}
+
+/// Finds the node with key `k` (descends through accessor calls).
+pub(crate) fn get_node(ctx: &mut Ctx<'_>, this: ObjId, k: i64) -> MethodResult {
+    let mut cur = ctx.get(this, "root");
+    while !cur.is_null() {
+        let ck = key_of(ctx, &cur)?;
+        if k == ck {
+            return Ok(cur);
+        }
+        cur = if k < ck {
+            left_of(ctx, &cur)?
+        } else {
+            right_of(ctx, &cur)?
+        };
+    }
+    Ok(Value::Null)
+}
+
+/// Leftmost node of the subtree rooted at `n`.
+pub(crate) fn min_node(ctx: &mut Ctx<'_>, n: Value) -> MethodResult {
+    let mut cur = n;
+    loop {
+        let l = left_of(ctx, &cur)?;
+        if l.is_null() {
+            return Ok(cur);
+        }
+        cur = l;
+    }
+}
+
+/// TreeMap's `deleteEntry`, starting from the node to remove.
+pub(crate) fn delete_entry(ctx: &mut Ctx<'_>, this: ObjId, mut p: Value) -> Result<(), atomask_mor::Exception> {
+    let l = left_of(ctx, &p)?;
+    let r = right_of(ctx, &p)?;
+    if !l.is_null() && !r.is_null() {
+        let s = min_node(ctx, r)?;
+        let sk = ctx.call_value(&s, "key", &[])?;
+        let sv = ctx.call_value(&s, "value", &[])?;
+        ctx.call_value(&p, "setKey", &[sk])?;
+        ctx.call_value(&p, "setValue", &[sv])?;
+        p = s;
+    }
+    let pl = left_of(ctx, &p)?;
+    let replacement = if pl.is_null() { right_of(ctx, &p)? } else { pl };
+    if !replacement.is_null() {
+        let pp = parent_of(ctx, &p)?;
+        ctx.call_value(&replacement, "setParent", &[pp.clone()])?;
+        if pp.is_null() {
+            ctx.set(this, "root", replacement.clone());
+        } else if p == left_of(ctx, &pp)? {
+            ctx.call_value(&pp, "setLeft", &[replacement.clone()])?;
+        } else {
+            ctx.call_value(&pp, "setRight", &[replacement.clone()])?;
+        }
+        ctx.call_value(&p, "setLeft", &[Value::Null])?;
+        ctx.call_value(&p, "setRight", &[Value::Null])?;
+        ctx.call_value(&p, "setParent", &[Value::Null])?;
+        if color_of(ctx, &p)? == BLACK {
+            fix_after_deletion(ctx, this, replacement)?;
+        }
+    } else {
+        let pp = parent_of(ctx, &p)?;
+        if pp.is_null() {
+            ctx.set(this, "root", Value::Null);
+        } else {
+            if color_of(ctx, &p)? == BLACK {
+                fix_after_deletion(ctx, this, p.clone())?;
+            }
+            let pp = parent_of(ctx, &p)?;
+            if !pp.is_null() {
+                if p == left_of(ctx, &pp)? {
+                    ctx.call_value(&pp, "setLeft", &[Value::Null])?;
+                } else if p == right_of(ctx, &pp)? {
+                    ctx.call_value(&pp, "setRight", &[Value::Null])?;
+                }
+                ctx.call_value(&p, "setParent", &[Value::Null])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Host-side read-only invariant check (no guest calls): red-black
+/// properties plus BST order. Returns `false` on any violation.
+pub(crate) fn rb_invariant(vm: &Vm, map: ObjId, node_class: &str) -> bool {
+    fn check(
+        vm: &Vm,
+        node: &Value,
+        min: Option<i64>,
+        max: Option<i64>,
+        node_class: &str,
+    ) -> Option<i64> {
+        let id = match node {
+            Value::Null => return Some(1),
+            Value::Ref(id) => *id,
+            _ => return None,
+        };
+        let heap = vm.heap();
+        let obj = heap.get(id)?;
+        let class = vm.registry().class(obj.class_id());
+        if class.name != node_class {
+            return None;
+        }
+        let key = heap.field(id, "key")?.as_int()?;
+        if min.is_some_and(|m| key <= m) || max.is_some_and(|m| key >= m) {
+            return None;
+        }
+        let color = heap.field(id, "color")?.as_int()?;
+        let left = heap.field(id, "left")?;
+        let right = heap.field(id, "right")?;
+        if color == RED {
+            for child in [&left, &right] {
+                if let Value::Ref(c) = child {
+                    if heap.field(*c, "color")?.as_int()? == RED {
+                        return None; // red-red violation
+                    }
+                }
+            }
+        }
+        let bl = check(vm, &left, min, Some(key), node_class)?;
+        let br = check(vm, &right, Some(key), max, node_class)?;
+        if bl != br {
+            return None;
+        }
+        Some(bl + i64::from(color == BLACK))
+    }
+    let root = match vm.heap().field(map, "root") {
+        Some(v) => v,
+        None => return false,
+    };
+    if let Value::Ref(r) = &root {
+        // Root must be black.
+        if vm.heap().field(*r, "color").and_then(|c| c.as_int()) != Some(BLACK) {
+            return false;
+        }
+    }
+    check(vm, &root, None, None, node_class).is_some()
+}
+

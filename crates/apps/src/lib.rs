@@ -1,0 +1,54 @@
+//! # atomask-apps — the evaluation applications
+//!
+//! Reimplementations, on the managed runtime of [`atomask_mor`], of the
+//! applications the DSN 2003 paper evaluates (Table 1):
+//!
+//! | Paper app        | Language | Here |
+//! |------------------|----------|------|
+//! | `adaptorChain`   | C++      | [`selfstar::adaptor_chain`] |
+//! | `stdQ`           | C++      | [`selfstar::stdq`] |
+//! | `xml2Ctcp`       | C++      | [`selfstar::xml2ctcp`] |
+//! | `xml2Cviasc1/2`  | C++      | [`selfstar::xml2cviasc`] |
+//! | `xml2xml1`       | C++      | [`selfstar::xml2xml`] |
+//! | `CircularList`   | Java     | [`collections::circular_list`] |
+//! | `Dynarray`       | Java     | [`collections::dynarray`] |
+//! | `HashedMap`      | Java     | [`collections::hashed_map`] |
+//! | `HashedSet`      | Java     | [`collections::hashed_set`] |
+//! | `LLMap`          | Java     | [`collections::llmap`] |
+//! | `LinkedBuffer`   | Java     | [`collections::linked_buffer`] |
+//! | `LinkedList`     | Java     | [`collections::linked_list`] |
+//! | `RBMap`          | Java     | [`collections::rbmap`] |
+//! | `RBTree`         | Java     | [`collections::rbtree`] |
+//! | `RegExp`         | Java     | [`regexp`] |
+//!
+//! The Java applications follow the style of Doug Lea's `collections`
+//! package and Jakarta RegExp: state lives in little cell/entry objects
+//! accessed through accessor *methods*, so mutation sequences interleave
+//! with many injectable calls — which is why the paper finds a substantial
+//! fraction of pure failure non-atomic methods in the Java tests. The C++
+//! applications follow the Self\* component style the paper describes as
+//! "programmed carefully, with failure atomicity in mind": compute first,
+//! commit with field writes last.
+//!
+//! Every application exposes a `program()` constructor returning a
+//! [`atomask_mor::FnProgram`] with a deterministic driver (the paper's
+//! "test program P"); [`suite::all_apps`] registers them for campaigns,
+//! reports and benches. `linked_list` additionally exposes the §6.1 case
+//! study: a `fixed_program()` whose trivial statement reorderings plus
+//! `never_throws` annotations reduce the pure failure non-atomic count, as
+//! in the paper's 18 → 3 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Guest call sites pass argument slices as `&[v.clone()]`; rewriting the
+// single-argument cases to `std::slice::from_ref` would make them read
+// differently from the multi-argument ones for no functional gain.
+#![allow(clippy::cloned_ref_to_slice_refs)]
+
+pub mod collections;
+pub mod regexp;
+pub mod selfstar;
+pub mod suite;
+pub(crate) mod util;
+
+pub use suite::{all_apps, cpp_apps, java_apps, program_by_name, AppSpec};

@@ -1,0 +1,137 @@
+//! The `adaptorChain` application: a Self\*-style chain of value adaptors
+//! fed by a source component.
+
+use super::component::{register_adaptors, register_channel, register_sink};
+use crate::util::{absorb, int, rooted};
+use atomask_mor::{FnProgram, MethodResult, Profile, Registry, RegistryBuilder, Value, Vm};
+
+fn register(rb: &mut RegistryBuilder) {
+    register_channel(rb);
+    register_sink(rb);
+    register_adaptors(rb);
+    rb.class("Source", |c| {
+        c.field("out", Value::Null);
+        c.field("produced", int(0));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "out", args[0].clone());
+            Ok(Value::Null)
+        });
+        // Commit-last: forward first, count after.
+        c.method("emit", |ctx, this, args| {
+            let out = ctx.get(this, "out");
+            ctx.call_value(&out, "send", &[args[0].clone()])?;
+            let n = ctx.get_int(this, "produced");
+            ctx.set(this, "produced", int(n + 1));
+            Ok(Value::Null)
+        });
+        // Batch emission: inherently non-atomic on mid-batch failure, but
+        // driven rarely (once per burst).
+        c.method("emitRange", |ctx, this, args| {
+            let from = args[0].as_int().unwrap_or(0);
+            let to = args[1].as_int().unwrap_or(0);
+            for v in from..to {
+                ctx.call(this, "emit", &[int(v)])?;
+            }
+            Ok(Value::Null)
+        });
+        c.method("produced", |ctx, this, _| Ok(ctx.get(this, "produced")));
+    });
+}
+
+fn driver(vm: &mut Vm) -> MethodResult {
+    // sink <- clamp <- doubler <- offset <- source
+    let sink = rooted(vm, "Sink", &[])?;
+    let ch_sink = rooted(vm, "Channel", &[sink.clone()])?;
+    let clamp = rooted(vm, "Clamp", &[ch_sink])?;
+    let clamp_id = clamp.as_ref_id().expect("ref");
+    vm.call(clamp_id, "reconfigure", &[int(0), int(40)])?;
+    let ch_clamp = rooted(vm, "Channel", &[clamp])?;
+    let doubler = rooted(vm, "Doubler", &[ch_clamp])?;
+    let ch_doubler = rooted(vm, "Channel", &[doubler.clone()])?;
+    let offset = rooted(vm, "Offset", &[ch_doubler, int(5)])?;
+    let ch_offset = rooted(vm, "Channel", &[offset.clone()])?;
+    let source = rooted(vm, "Source", &[ch_offset])?;
+    let source_id = source.as_ref_id().expect("ref");
+
+    vm.call(source_id, "emitRange", &[int(0), int(12)])?;
+    for i in [100, -7, 3] {
+        absorb(vm.call(source_id, "emit", &[int(i)]));
+    }
+    // A bad reconfiguration exercises the error path, then it is repaired.
+    absorb(vm.call(clamp_id, "reconfigure", &[int(50), int(10)]));
+    absorb(vm.call(clamp_id, "reconfigure", &[int(0), int(100)]));
+    vm.call(source_id, "emitRange", &[int(12), int(18)])?;
+
+    let sink_id = sink.as_ref_id().expect("ref");
+    for _ in 0..3 {
+        absorb(vm.call(sink_id, "received", &[]));
+        absorb(vm.call(sink_id, "sum", &[]));
+        absorb(vm.call(sink_id, "last", &[]));
+        absorb(vm.call(source_id, "produced", &[]));
+        absorb(vm.call(clamp_id, "processed", &[]));
+        absorb(vm.call(clamp_id, "clamped", &[]));
+        let d = doubler.as_ref_id().expect("ref");
+        absorb(vm.call(d, "processed", &[]));
+        let o = offset.as_ref_id().expect("ref");
+        absorb(vm.call(o, "processed", &[]));
+    }
+    absorb(vm.call(sink_id, "reset", &[]));
+    Ok(Value::Null)
+}
+
+/// The `adaptorChain` program.
+pub fn program() -> FnProgram {
+    FnProgram::new("adaptorChain", build_registry, driver)
+}
+
+/// Builds the program's registry.
+pub fn build_registry() -> Registry {
+    let mut rb = RegistryBuilder::new(Profile::cpp());
+    register(&mut rb);
+    rb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::Program;
+
+    #[test]
+    fn chain_transforms_values_in_order() {
+        let mut vm = Vm::new(build_registry());
+        let sink = vm.construct("Sink", &[]).unwrap();
+        vm.root(sink);
+        let ch_sink = vm.construct("Channel", &[Value::Ref(sink)]).unwrap();
+        vm.root(ch_sink);
+        let doubler = vm.construct("Doubler", &[Value::Ref(ch_sink)]).unwrap();
+        vm.root(doubler);
+        let ch_d = vm.construct("Channel", &[Value::Ref(doubler)]).unwrap();
+        vm.root(ch_d);
+        let source = vm.construct("Source", &[Value::Ref(ch_d)]).unwrap();
+        vm.root(source);
+        vm.call(source, "emit", &[int(21)]).unwrap();
+        assert_eq!(vm.call(sink, "last", &[]).unwrap(), int(42));
+        assert_eq!(vm.call(source, "produced", &[]).unwrap(), int(1));
+    }
+
+    #[test]
+    fn emit_range_counts_all() {
+        let mut vm = Vm::new(build_registry());
+        let sink = vm.construct("Sink", &[]).unwrap();
+        vm.root(sink);
+        let ch = vm.construct("Channel", &[Value::Ref(sink)]).unwrap();
+        vm.root(ch);
+        let source = vm.construct("Source", &[Value::Ref(ch)]).unwrap();
+        vm.root(source);
+        vm.call(source, "emitRange", &[int(0), int(5)]).unwrap();
+        assert_eq!(vm.call(source, "produced", &[]).unwrap(), int(5));
+        assert_eq!(vm.call(sink, "sum", &[]).unwrap(), int(10));
+    }
+
+    #[test]
+    fn driver_is_clean() {
+        let p = program();
+        let mut vm = Vm::new(p.build_registry());
+        p.run(&mut vm).unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared Self\*-style component substrate: channels, sinks, and the stock
+//! adaptors reused by several applications.
+
+use crate::util::int;
+use atomask_mor::{RegistryBuilder, Value};
+
+/// Registers the `Channel` class: a typed output port bound to a sink
+/// component and a method name. `send` is a pure delegator.
+pub(crate) fn register_channel(rb: &mut RegistryBuilder) {
+    rb.class("Channel", |c| {
+        c.field("sink", Value::Null);
+        c.field("port", Value::Str("push".to_owned()));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "sink", args[0].clone());
+            if let Some(p) = args.get(1) {
+                ctx.set(this, "port", p.clone());
+            }
+            Ok(Value::Null)
+        });
+        c.method("send", |ctx, this, args| {
+            let sink = ctx.get(this, "sink");
+            let port = ctx.get_str(this, "port");
+            ctx.call_value(&sink, &port, args)
+        });
+        c.method("rebind", |ctx, this, args| {
+            ctx.set(this, "sink", args[0].clone());
+            Ok(Value::Null)
+        });
+    });
+}
+
+/// Registers the `Sink` class: collects values; all mutations are direct
+/// field writes, so every method is failure atomic.
+pub(crate) fn register_sink(rb: &mut RegistryBuilder) {
+    rb.class("Sink", |c| {
+        c.field("received", int(0));
+        c.field("sum", int(0));
+        c.field("last", Value::Null);
+        c.field("log", Value::Str(String::new()));
+        c.ctor(|_, _, _| Ok(Value::Null));
+        c.method("push", |ctx, this, args| {
+            let received = ctx.get_int(this, "received");
+            let sum = ctx.get_int(this, "sum");
+            let add = args[0].as_int().unwrap_or(0);
+            let log = ctx.get_str(this, "log");
+            ctx.set(this, "received", int(received + 1));
+            ctx.set(this, "sum", int(sum + add));
+            ctx.set(this, "last", args[0].clone());
+            ctx.set(this, "log", Value::Str(format!("{log}{},", args[0])));
+            Ok(Value::Null)
+        });
+        c.method("received", |ctx, this, _| Ok(ctx.get(this, "received")));
+        c.method("sum", |ctx, this, _| Ok(ctx.get(this, "sum")));
+        c.method("last", |ctx, this, _| Ok(ctx.get(this, "last")));
+        c.method("log", |ctx, this, _| Ok(ctx.get(this, "log")));
+        c.method("reset", |ctx, this, _| {
+            ctx.set(this, "received", int(0));
+            ctx.set(this, "sum", int(0));
+            ctx.set(this, "last", Value::Null);
+            ctx.set(this, "log", Value::Str(String::new()));
+            Ok(Value::Null)
+        });
+    });
+}
+
+/// Registers the stock adaptors. Each holds an output `Channel`, transforms
+/// the value, forwards it, and only then updates its statistics
+/// (compute-first / commit-last: atomic as long as its callees are).
+pub(crate) fn register_adaptors(rb: &mut RegistryBuilder) {
+    rb.class("Doubler", |c| {
+        c.field("out", Value::Null);
+        c.field("processed", int(0));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "out", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("push", |ctx, this, args| {
+            let v = args[0].as_int().unwrap_or(0);
+            let out = ctx.get(this, "out");
+            ctx.call_value(&out, "send", &[int(v * 2)])?;
+            let n = ctx.get_int(this, "processed");
+            ctx.set(this, "processed", int(n + 1));
+            Ok(Value::Null)
+        });
+        c.method("processed", |ctx, this, _| Ok(ctx.get(this, "processed")));
+    });
+    rb.class("Offset", |c| {
+        c.field("out", Value::Null);
+        c.field("delta", int(0));
+        c.field("processed", int(0));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "out", args[0].clone());
+            if let Some(d) = args.get(1) {
+                ctx.set(this, "delta", d.clone());
+            }
+            Ok(Value::Null)
+        });
+        c.method("push", |ctx, this, args| {
+            let v = args[0].as_int().unwrap_or(0);
+            let delta = ctx.get_int(this, "delta");
+            let out = ctx.get(this, "out");
+            ctx.call_value(&out, "send", &[int(v + delta)])?;
+            let n = ctx.get_int(this, "processed");
+            ctx.set(this, "processed", int(n + 1));
+            Ok(Value::Null)
+        });
+        c.method("processed", |ctx, this, _| Ok(ctx.get(this, "processed")));
+    });
+    rb.class("Clamp", |c| {
+        c.field("out", Value::Null);
+        c.field("lo", int(i64::MIN));
+        c.field("hi", int(i64::MAX));
+        c.field("clamped", int(0));
+        c.field("processed", int(0));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "out", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("push", |ctx, this, args| {
+            let v = args[0].as_int().unwrap_or(0);
+            let lo = ctx.get_int(this, "lo");
+            let hi = ctx.get_int(this, "hi");
+            // max/min rather than clamp: a failed reconfiguration can
+            // leave lo > hi (that is the planted bug), and the component
+            // must misbehave gracefully rather than abort.
+            let cv = v.max(lo).min(hi);
+            let out = ctx.get(this, "out");
+            ctx.call_value(&out, "send", &[int(cv)])?;
+            let n = ctx.get_int(this, "processed");
+            ctx.set(this, "processed", int(n + 1));
+            if cv != v {
+                let k = ctx.get_int(this, "clamped");
+                ctx.set(this, "clamped", int(k + 1));
+            }
+            Ok(Value::Null)
+        });
+        c.method("processed", |ctx, this, _| Ok(ctx.get(this, "processed")));
+        c.method("clamped", |ctx, this, _| Ok(ctx.get(this, "clamped")));
+        c.method("checkBounds", |ctx, this, _| {
+            let lo = ctx.get_int(this, "lo");
+            let hi = ctx.get_int(this, "hi");
+            if lo > hi {
+                return Err(ctx.exception("ConfigError", "lo > hi"));
+            }
+            Ok(Value::Null)
+        })
+        .throws("ConfigError");
+        // The one sloppy method of the chain: a reconfiguration path that
+        // writes `lo`, *then* validates (a call), *then* writes `hi`. Runs
+        // only when an operator reconfigures the component — rarely.
+        c.method("reconfigure", |ctx, this, args| {
+            ctx.set(this, "lo", args[0].clone());
+            ctx.call(this, "checkBounds", &[])?;
+            ctx.set(this, "hi", args[1].clone());
+            ctx.call(this, "checkBounds", &[])?;
+            Ok(Value::Null)
+        })
+        .throws("ConfigError");
+    });
+    rb.class("Tee", |c| {
+        c.field("left", Value::Null);
+        c.field("right", Value::Null);
+        c.field("processed", int(0));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "left", args[0].clone());
+            ctx.set(this, "right", args[1].clone());
+            Ok(Value::Null)
+        });
+        // Duplicates each value to both outputs; a failure between the two
+        // sends leaves them observably diverged (conditional non-atomic).
+        c.method("push", |ctx, this, args| {
+            let left = ctx.get(this, "left");
+            ctx.call_value(&left, "send", &[args[0].clone()])?;
+            let right = ctx.get(this, "right");
+            ctx.call_value(&right, "send", &[args[0].clone()])?;
+            let n = ctx.get_int(this, "processed");
+            ctx.set(this, "processed", int(n + 1));
+            Ok(Value::Null)
+        });
+        c.method("processed", |ctx, this, _| Ok(ctx.get(this, "processed")));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{Profile, Vm};
+
+    fn vm() -> Vm {
+        let mut rb = RegistryBuilder::new(Profile::cpp());
+        register_channel(&mut rb);
+        register_sink(&mut rb);
+        register_adaptors(&mut rb);
+        Vm::new(rb.build())
+    }
+
+    #[test]
+    fn channel_routes_to_sink_port() {
+        let mut vm = vm();
+        let sink = vm.construct("Sink", &[]).unwrap();
+        vm.root(sink);
+        let ch = vm
+            .construct("Channel", &[Value::Ref(sink), Value::Str("push".into())])
+            .unwrap();
+        vm.root(ch);
+        vm.call(ch, "send", &[int(7)]).unwrap();
+        assert_eq!(vm.call(sink, "sum", &[]).unwrap(), int(7));
+        assert_eq!(vm.call(sink, "received", &[]).unwrap(), int(1));
+    }
+
+    #[test]
+    fn adaptors_compose() {
+        let mut vm = vm();
+        let sink = vm.construct("Sink", &[]).unwrap();
+        vm.root(sink);
+        let ch_sink = vm.construct("Channel", &[Value::Ref(sink)]).unwrap();
+        vm.root(ch_sink);
+        let doubler = vm.construct("Doubler", &[Value::Ref(ch_sink)]).unwrap();
+        vm.root(doubler);
+        let ch_doubler = vm.construct("Channel", &[Value::Ref(doubler)]).unwrap();
+        vm.root(ch_doubler);
+        let offset = vm
+            .construct("Offset", &[Value::Ref(ch_doubler), int(3)])
+            .unwrap();
+        vm.root(offset);
+        // offset(+3) then double: (5+3)*2 = 16
+        vm.call(offset, "push", &[int(5)]).unwrap();
+        assert_eq!(vm.call(sink, "last", &[]).unwrap(), int(16));
+        assert_eq!(vm.call(doubler, "processed", &[]).unwrap(), int(1));
+    }
+
+    #[test]
+    fn clamp_reconfigure_validates() {
+        let mut vm = vm();
+        let sink = vm.construct("Sink", &[]).unwrap();
+        vm.root(sink);
+        let ch = vm.construct("Channel", &[Value::Ref(sink)]).unwrap();
+        vm.root(ch);
+        let clamp = vm.construct("Clamp", &[Value::Ref(ch)]).unwrap();
+        vm.root(clamp);
+        vm.call(clamp, "reconfigure", &[int(0), int(10)]).unwrap();
+        vm.call(clamp, "push", &[int(50)]).unwrap();
+        assert_eq!(vm.call(sink, "last", &[]).unwrap(), int(10));
+        assert_eq!(vm.call(clamp, "clamped", &[]).unwrap(), int(1));
+        // Invalid reconfiguration throws — and leaves `lo` dirty, the
+        // planted non-atomicity.
+        let err = vm.call(clamp, "reconfigure", &[int(99), int(5)]).unwrap_err();
+        assert_eq!(vm.registry().exceptions().name(err.ty), "ConfigError");
+        assert_eq!(vm.heap().field(clamp, "lo"), Some(int(99)));
+        assert_eq!(vm.heap().field(clamp, "hi"), Some(int(10)));
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut vm = vm();
+        let a = vm.construct("Sink", &[]).unwrap();
+        vm.root(a);
+        let b = vm.construct("Sink", &[]).unwrap();
+        vm.root(b);
+        let ca = vm.construct("Channel", &[Value::Ref(a)]).unwrap();
+        vm.root(ca);
+        let cb = vm.construct("Channel", &[Value::Ref(b)]).unwrap();
+        vm.root(cb);
+        let tee = vm
+            .construct("Tee", &[Value::Ref(ca), Value::Ref(cb)])
+            .unwrap();
+        vm.root(tee);
+        vm.call(tee, "push", &[int(4)]).unwrap();
+        assert_eq!(vm.call(a, "sum", &[]).unwrap(), int(4));
+        assert_eq!(vm.call(b, "sum", &[]).unwrap(), int(4));
+    }
+}

@@ -1,0 +1,31 @@
+//! The Self\*-style C++ applications.
+//!
+//! The paper evaluates its C++ infrastructure on applications built with
+//! Self\* [Fetzer & Högstedt, WORDS 2003], a component-based data-flow
+//! framework. This module rebuilds the relevant substrate on the managed
+//! runtime — components with typed output channels, a simulated in-process
+//! TCP transport, and an XML parser/serializer — plus the six evaluation
+//! applications:
+//!
+//! * [`adaptor_chain`] — a chain of value-transforming adaptors.
+//! * [`stdq`] — a bounded queue between a producer and a consumer.
+//! * [`xml2ctcp`] — XML documents parsed, serialized compactly and pushed
+//!   over the simulated TCP connection.
+//! * [`xml2cviasc`] — XML-configured ("self-configuring") adaptor chains,
+//!   in two topologies.
+//! * [`xml2xml`] — XML-to-XML transformation.
+//!
+//! In contrast to the Java collections, these components are written in
+//! the careful compute-first/commit-last style the paper credits for the
+//! Self\* applications' small pure failure non-atomic fraction; the
+//! remaining non-atomic methods sit on rarely exercised reconfiguration
+//! and error-recovery paths — which is exactly where the paper found them.
+
+pub mod adaptor_chain;
+pub(crate) mod component;
+pub mod stdq;
+pub(crate) mod transport;
+pub(crate) mod xml;
+pub mod xml2ctcp;
+pub mod xml2cviasc;
+pub mod xml2xml;

@@ -1,0 +1,124 @@
+//! Simulated TCP transport.
+//!
+//! The paper's `xml2Ctcp` application pushes serialized XML over a TCP
+//! connection; the testbed's network is out of reach here, so `TcpConn`
+//! simulates the connection as an in-process component with the same
+//! observable control surface: an explicit connection state machine,
+//! per-send accounting, a bounded in-flight buffer, and `ConnError`
+//! exceptions on misuse — enough to exercise the identical exception
+//! handling paths in the application code above it.
+
+use crate::util::int;
+use atomask_mor::{RegistryBuilder, Value};
+
+/// Exception thrown on transport misuse or overflow.
+pub(crate) const CONN_ERROR: &str = "ConnError";
+
+const STATE_CLOSED: i64 = 0;
+const STATE_OPEN: i64 = 1;
+
+/// Registers the `TcpConn` class.
+pub(crate) fn register_transport(rb: &mut RegistryBuilder) {
+    rb.exception(CONN_ERROR);
+    rb.class("TcpConn", |c| {
+        c.field("state", int(STATE_CLOSED));
+        c.field("sent", int(0));
+        c.field("bytes", int(0));
+        c.field("window", int(1 << 16));
+        c.field("wire", Value::Str(String::new()));
+        c.ctor(|_, _, _| Ok(Value::Null));
+        c.method("connect", |ctx, this, _| {
+            if ctx.get_int(this, "state") == STATE_OPEN {
+                return Err(ctx.exception(CONN_ERROR, "already connected"));
+            }
+            ctx.set(this, "state", int(STATE_OPEN));
+            Ok(Value::Null)
+        })
+        .throws(CONN_ERROR);
+        // Commit-last: all checks first, then the field writes.
+        c.method("send", |ctx, this, args| {
+            if ctx.get_int(this, "state") != STATE_OPEN {
+                return Err(ctx.exception(CONN_ERROR, "send on closed connection"));
+            }
+            let payload = args[0].as_str().unwrap_or("").to_owned();
+            let bytes = ctx.get_int(this, "bytes");
+            if bytes + payload.len() as i64 > ctx.get_int(this, "window") {
+                return Err(ctx.exception(CONN_ERROR, "send window exhausted"));
+            }
+            let sent = ctx.get_int(this, "sent");
+            let wire = ctx.get_str(this, "wire");
+            ctx.set(this, "sent", int(sent + 1));
+            ctx.set(this, "bytes", int(bytes + payload.len() as i64));
+            ctx.set(this, "wire", Value::Str(format!("{wire}{payload}\u{1e}")));
+            Ok(Value::Null)
+        })
+        .throws(CONN_ERROR);
+        c.method("close", |ctx, this, _| {
+            ctx.set(this, "state", int(STATE_CLOSED));
+            Ok(Value::Null)
+        });
+        c.method("isOpen", |ctx, this, _| {
+            Ok(Value::Bool(ctx.get_int(this, "state") == STATE_OPEN))
+        });
+        c.method("sent", |ctx, this, _| Ok(ctx.get(this, "sent")));
+        c.method("bytes", |ctx, this, _| Ok(ctx.get(this, "bytes")));
+        c.method("wire", |ctx, this, _| Ok(ctx.get(this, "wire")));
+        c.method("drainAck", |ctx, this, _| {
+            // The peer acknowledged everything: reset the window usage.
+            ctx.set(this, "bytes", int(0));
+            ctx.set(this, "wire", Value::Str(String::new()));
+            Ok(Value::Null)
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{Profile, Vm};
+
+    fn conn() -> (Vm, atomask_mor::ObjId) {
+        let mut rb = RegistryBuilder::new(Profile::cpp());
+        register_transport(&mut rb);
+        let mut vm = Vm::new(rb.build());
+        let c = vm.construct("TcpConn", &[]).unwrap();
+        vm.root(c);
+        (vm, c)
+    }
+
+    #[test]
+    fn connect_send_close_lifecycle() {
+        let (mut vm, c) = conn();
+        assert_eq!(vm.call(c, "isOpen", &[]).unwrap(), Value::Bool(false));
+        vm.call(c, "connect", &[]).unwrap();
+        vm.call(c, "send", &[Value::Str("hello".into())]).unwrap();
+        assert_eq!(vm.call(c, "sent", &[]).unwrap(), int(1));
+        assert_eq!(vm.call(c, "bytes", &[]).unwrap(), int(5));
+        vm.call(c, "close", &[]).unwrap();
+        let err = vm.call(c, "send", &[Value::Str("x".into())]).unwrap_err();
+        assert_eq!(vm.registry().exceptions().name(err.ty), CONN_ERROR);
+    }
+
+    #[test]
+    fn double_connect_throws() {
+        let (mut vm, c) = conn();
+        vm.call(c, "connect", &[]).unwrap();
+        assert!(vm.call(c, "connect", &[]).is_err());
+    }
+
+    #[test]
+    fn window_overflow_is_atomic() {
+        let (mut vm, c) = conn();
+        vm.call(c, "connect", &[]).unwrap();
+        vm.heap_mut().set_field(c, "window", int(6)).unwrap();
+        vm.call(c, "send", &[Value::Str("abcd".into())]).unwrap();
+        let before = atomask_objgraph::Snapshot::of(vm.heap(), c);
+        let err = vm.call(c, "send", &[Value::Str("efgh".into())]).unwrap_err();
+        assert_eq!(err.message, "send window exhausted");
+        // Commit-last style: the failed send changed nothing.
+        assert_eq!(atomask_objgraph::Snapshot::of(vm.heap(), c), before);
+        vm.call(c, "drainAck", &[]).unwrap();
+        vm.call(c, "send", &[Value::Str("efgh".into())]).unwrap();
+        assert_eq!(vm.call(c, "sent", &[]).unwrap(), int(2));
+    }
+}

@@ -1,0 +1,346 @@
+//! XML substrate for the Self\* applications: a DOM on the managed heap, a
+//! recursive-descent parser, and a serializer.
+//!
+//! The parser is written in the exception-safe style the paper credits the
+//! Self\* code base for: each `parseElement` call builds a **fresh**
+//! subtree and records its end position *on the new node* (`endPos`), so
+//! the parser object itself is never mutated — the method is failure
+//! atomic by construction, no matter where an exception lands.
+
+use crate::util::{int, s};
+use atomask_mor::{Ctx, ObjId, RegistryBuilder, Value};
+
+/// Exception thrown on malformed documents.
+pub(crate) const XML_ERROR: &str = "XmlError";
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+fn skip_ws(bytes: &[u8], mut pos: usize) -> usize {
+    while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+        pos += 1;
+    }
+    pos
+}
+
+fn xml_err(ctx: &mut Ctx<'_>, pos: usize, what: &str) -> atomask_mor::Exception {
+    ctx.exception(XML_ERROR, format!("{what} at byte {pos}"))
+}
+
+/// Registers `XmlElem`, `XmlAttr`, `XmlParser` and `XmlWriter`.
+pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
+    rb.exception(XML_ERROR);
+    rb.class("XmlAttr", |c| {
+        c.field("name", Value::Str(String::new()));
+        c.field("value", Value::Str(String::new()));
+        c.field("next", Value::Null);
+    });
+    rb.class("XmlElem", |c| {
+        c.field("tag", Value::Str(String::new()));
+        c.field("text", Value::Str(String::new()));
+        c.field("firstAttr", Value::Null);
+        c.field("firstChild", Value::Null);
+        c.field("nextSibling", Value::Null);
+        c.field("endPos", int(0));
+        // Read-only helpers used by transformers and tests.
+        c.method("tag", |ctx, this, _| Ok(ctx.get(this, "tag")));
+        c.method("text", |ctx, this, _| Ok(ctx.get(this, "text")));
+        c.method("childCount", |ctx, this, _| {
+            let mut n = 0i64;
+            let mut cur = ctx.get(this, "firstChild");
+            while let Value::Ref(id) = cur {
+                n += 1;
+                cur = ctx.get(id, "nextSibling");
+            }
+            Ok(int(n))
+        });
+        c.method("attrCount", |ctx, this, _| {
+            let mut n = 0i64;
+            let mut cur = ctx.get(this, "firstAttr");
+            while let Value::Ref(id) = cur {
+                n += 1;
+                cur = ctx.get(id, "next");
+            }
+            Ok(int(n))
+        });
+        c.method("attr", |ctx, this, args| {
+            let mut cur = ctx.get(this, "firstAttr");
+            while let Value::Ref(id) = cur {
+                if ctx.get(id, "name") == args[0] {
+                    return Ok(ctx.get(id, "value"));
+                }
+                cur = ctx.get(id, "next");
+            }
+            Ok(Value::Null)
+        });
+    });
+    rb.class("XmlParser", |c| {
+        c.field("input", Value::Str(String::new()));
+        c.ctor(|ctx, this, args| {
+            ctx.set(this, "input", args[0].clone());
+            Ok(Value::Null)
+        });
+        c.method("setInput", |ctx, this, args| {
+            ctx.set(this, "input", args[0].clone());
+            Ok(Value::Null)
+        });
+        // Parses the whole document and returns the root element.
+        c.method("parseDocument", |ctx, this, _| {
+            let input = ctx.get_str(this, "input");
+            let bytes = input.as_bytes();
+            let start = skip_ws(bytes, 0);
+            let root = ctx.call(this, "parseElement", &[int(start as i64)])?;
+            let root_id = root.as_ref_id().expect("parseElement returns an element");
+            let end = ctx.get_int(root_id, "endPos") as usize;
+            let rest = skip_ws(bytes, end);
+            if rest != bytes.len() {
+                return Err(xml_err(ctx, rest, "trailing content after document root"));
+            }
+            Ok(root)
+        })
+        .throws(XML_ERROR);
+        // Parses one element starting at the byte offset in `args[0]`; the
+        // element's `endPos` field carries the continuation offset.
+        c.method("parseElement", |ctx, this, args| {
+            let input = ctx.get_str(this, "input");
+            let bytes = input.as_bytes();
+            let mut pos = args[0].as_int().unwrap_or(0).max(0) as usize;
+            if pos >= bytes.len() || bytes[pos] != b'<' {
+                return Err(xml_err(ctx, pos, "expected `<`"));
+            }
+            pos += 1;
+            let name_start = pos;
+            while pos < bytes.len() && is_name_byte(bytes[pos]) {
+                pos += 1;
+            }
+            if pos == name_start {
+                return Err(xml_err(ctx, pos, "expected element name"));
+            }
+            let tag = input[name_start..pos].to_owned();
+            let elem = ctx.alloc("XmlElem");
+            ctx.set(elem, "tag", s(&tag));
+
+            // Attributes.
+            let mut first_attr = Value::Null;
+            let mut last_attr: Option<ObjId> = None;
+            loop {
+                pos = skip_ws(bytes, pos);
+                match bytes.get(pos) {
+                    Some(b'/') => {
+                        if bytes.get(pos + 1) != Some(&b'>') {
+                            return Err(xml_err(ctx, pos, "expected `/>`"));
+                        }
+                        ctx.set(elem, "firstAttr", first_attr);
+                        ctx.set(elem, "endPos", int((pos + 2) as i64));
+                        return Ok(Value::Ref(elem));
+                    }
+                    Some(b'>') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b) if is_name_byte(*b) => {
+                        let an_start = pos;
+                        while pos < bytes.len() && is_name_byte(bytes[pos]) {
+                            pos += 1;
+                        }
+                        let an = input[an_start..pos].to_owned();
+                        if bytes.get(pos) != Some(&b'=') || bytes.get(pos + 1) != Some(&b'"') {
+                            return Err(xml_err(ctx, pos, "expected `=\"` in attribute"));
+                        }
+                        pos += 2;
+                        let av_start = pos;
+                        while pos < bytes.len() && bytes[pos] != b'"' {
+                            pos += 1;
+                        }
+                        if pos >= bytes.len() {
+                            return Err(xml_err(ctx, pos, "unterminated attribute value"));
+                        }
+                        let av = input[av_start..pos].to_owned();
+                        pos += 1;
+                        let attr = ctx.alloc("XmlAttr");
+                        ctx.set(attr, "name", s(&an));
+                        ctx.set(attr, "value", s(&av));
+                        match last_attr {
+                            None => first_attr = Value::Ref(attr),
+                            Some(prev) => ctx.set(prev, "next", Value::Ref(attr)),
+                        }
+                        last_attr = Some(attr);
+                    }
+                    _ => return Err(xml_err(ctx, pos, "malformed tag")),
+                }
+            }
+            ctx.set(elem, "firstAttr", first_attr);
+
+            // Content: children and text runs.
+            let mut text = String::new();
+            let mut last_child: Option<ObjId> = None;
+            loop {
+                if pos >= bytes.len() {
+                    return Err(xml_err(ctx, pos, "unterminated element"));
+                }
+                if bytes[pos] == b'<' {
+                    if bytes.get(pos + 1) == Some(&b'/') {
+                        let mut p = pos + 2;
+                        let cn_start = p;
+                        while p < bytes.len() && is_name_byte(bytes[p]) {
+                            p += 1;
+                        }
+                        if input[cn_start..p] != tag {
+                            return Err(xml_err(ctx, pos, "mismatched closing tag"));
+                        }
+                        if bytes.get(p) != Some(&b'>') {
+                            return Err(xml_err(ctx, p, "expected `>`"));
+                        }
+                        ctx.set(elem, "text", s(text.trim()));
+                        ctx.set(elem, "endPos", int((p + 1) as i64));
+                        return Ok(Value::Ref(elem));
+                    }
+                    let child = ctx.call(this, "parseElement", &[int(pos as i64)])?;
+                    let child_id = child.as_ref_id().expect("element");
+                    pos = ctx.get_int(child_id, "endPos") as usize;
+                    match last_child {
+                        None => ctx.set(elem, "firstChild", child),
+                        Some(prev) => ctx.set(prev, "nextSibling", child),
+                    }
+                    last_child = Some(child_id);
+                } else {
+                    text.push(bytes[pos] as char);
+                    pos += 1;
+                }
+            }
+        })
+        .throws(XML_ERROR);
+    });
+    rb.class("XmlWriter", |c| {
+        c.field("docs", int(0));
+        c.field("compact", Value::Bool(true));
+        c.ctor(|_, _, _| Ok(Value::Null));
+        c.method("docs", |ctx, this, _| Ok(ctx.get(this, "docs")));
+        // Pure recursive serialization: builds the string through return
+        // values, no writer state is touched.
+        c.method("toXml", |ctx, this, args| {
+            let elem = match &args[0] {
+                Value::Ref(id) => *id,
+                _ => return Ok(Value::Str(String::new())),
+            };
+            let tag = ctx.get_str(elem, "tag");
+            let mut out = format!("<{tag}");
+            let mut attr = ctx.get(elem, "firstAttr");
+            while let Value::Ref(a) = attr {
+                let name = ctx.get_str(a, "name");
+                let value = ctx.get_str(a, "value");
+                out.push_str(&format!(" {name}=\"{value}\""));
+                attr = ctx.get(a, "next");
+            }
+            let text = ctx.get_str(elem, "text");
+            let first_child = ctx.get(elem, "firstChild");
+            if text.is_empty() && first_child.is_null() {
+                out.push_str("/>");
+                return Ok(Value::Str(out));
+            }
+            out.push('>');
+            out.push_str(&text);
+            let mut child = first_child;
+            while let Value::Ref(c) = child {
+                let sub = ctx.call(this, "toXml", &[Value::Ref(c)])?;
+                out.push_str(sub.as_str().unwrap_or(""));
+                child = ctx.get(c, "nextSibling");
+            }
+            out.push_str(&format!("</{tag}>"));
+            Ok(Value::Str(out))
+        });
+        // Commit-last: the statistic is updated after serialization
+        // completed.
+        c.method("writeDoc", |ctx, this, args| {
+            let out = ctx.call(this, "toXml", args)?;
+            let docs = ctx.get_int(this, "docs");
+            ctx.set(this, "docs", int(docs + 1));
+            Ok(out)
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::MethodResult;
+    use atomask_mor::{Profile, RegistryBuilder, Vm};
+
+    fn vm() -> Vm {
+        let mut rb = RegistryBuilder::new(Profile::cpp());
+        register_xml(&mut rb);
+        Vm::new(rb.build())
+    }
+
+    fn parse(vm: &mut Vm, doc: &str) -> MethodResult {
+        let p = vm.construct("XmlParser", &[s(doc)]).unwrap();
+        vm.root(p);
+        vm.call(p, "parseDocument", &[])
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let mut vm = vm();
+        let root = parse(&mut vm, r#"<a x="1"><b>hi</b><c/></a>"#).unwrap();
+        let root = root.as_ref_id().unwrap();
+        vm.root(root);
+        assert_eq!(vm.heap().field(root, "tag"), Some(s("a")));
+        assert_eq!(vm.call(root, "childCount", &[]).unwrap(), int(2));
+        assert_eq!(vm.call(root, "attrCount", &[]).unwrap(), int(1));
+        assert_eq!(vm.call(root, "attr", &[s("x")]).unwrap(), s("1"));
+        assert_eq!(vm.call(root, "attr", &[s("nope")]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let mut vm = vm();
+        let doc = r#"<root a="1" b="2"><kid>text</kid><empty/></root>"#;
+        let root = parse(&mut vm, doc).unwrap();
+        let w = vm.construct("XmlWriter", &[]).unwrap();
+        vm.root(w);
+        let out = vm.call(w, "writeDoc", &[root]).unwrap();
+        assert_eq!(out.as_str().unwrap(), doc);
+        assert_eq!(vm.call(w, "docs", &[]).unwrap(), int(1));
+    }
+
+    #[test]
+    fn whitespace_and_text_handling() {
+        let mut vm = vm();
+        let root = parse(&mut vm, "  <m>  padded  </m>  ").unwrap();
+        let root = root.as_ref_id().unwrap();
+        assert_eq!(vm.heap().field(root, "text"), Some(s("padded")));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let mut vm = vm();
+        for bad in [
+            "<a><b></a>",   // mismatched closing tag
+            "<a",           // truncated
+            "no-xml",       // no root
+            "<a></a><b/>",  // trailing content
+            r#"<a x=1/>"#,  // unquoted attribute
+        ] {
+            let err = parse(&mut vm, bad).unwrap_err();
+            assert_eq!(
+                vm.registry().exceptions().name(err.ty),
+                XML_ERROR,
+                "doc {bad:?}"
+            );
+            assert!(err.message.contains("at byte"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn parser_object_is_never_dirtied_by_failures() {
+        // The exception-safe style: a failed parse leaves the parser's own
+        // object graph untouched.
+        let mut vm = vm();
+        let p = vm.construct("XmlParser", &[s("<a><broken")]).unwrap();
+        vm.root(p);
+        let before = atomask_objgraph::Snapshot::of(vm.heap(), p);
+        assert!(vm.call(p, "parseDocument", &[]).is_err());
+        assert_eq!(atomask_objgraph::Snapshot::of(vm.heap(), p), before);
+    }
+}

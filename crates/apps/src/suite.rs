@@ -1,0 +1,187 @@
+//! The evaluation suite: the sixteen applications of the paper's Table 1,
+//! addressable by name and language.
+
+use atomask_mor::{FnProgram, Lang};
+
+/// One evaluation application.
+#[derive(Clone)]
+pub struct AppSpec {
+    /// Application name, matching the paper's Table 1 row.
+    pub name: &'static str,
+    /// Which side of the evaluation the app belongs to.
+    pub lang: Lang,
+    /// Program constructor.
+    pub make: fn() -> FnProgram,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec")
+            .field("name", &self.name)
+            .field("lang", &self.lang)
+            .finish()
+    }
+}
+
+impl AppSpec {
+    /// Instantiates the program.
+    pub fn program(&self) -> FnProgram {
+        (self.make)()
+    }
+}
+
+/// All sixteen applications, C++ rows first, in Table 1 order.
+pub fn all_apps() -> Vec<AppSpec> {
+    let mut apps = cpp_apps();
+    apps.extend(java_apps());
+    apps
+}
+
+/// The six C++ (Self\*) applications.
+pub fn cpp_apps() -> Vec<AppSpec> {
+    use crate::selfstar::*;
+    vec![
+        AppSpec {
+            name: "adaptorChain",
+            lang: Lang::Cpp,
+            make: adaptor_chain::program,
+        },
+        AppSpec {
+            name: "stdQ",
+            lang: Lang::Cpp,
+            make: stdq::program,
+        },
+        AppSpec {
+            name: "xml2Ctcp",
+            lang: Lang::Cpp,
+            make: xml2ctcp::program,
+        },
+        AppSpec {
+            name: "xml2Cviasc1",
+            lang: Lang::Cpp,
+            make: xml2cviasc::program_v1,
+        },
+        AppSpec {
+            name: "xml2Cviasc2",
+            lang: Lang::Cpp,
+            make: xml2cviasc::program_v2,
+        },
+        AppSpec {
+            name: "xml2xml1",
+            lang: Lang::Cpp,
+            make: xml2xml::program,
+        },
+    ]
+}
+
+/// The ten Java applications.
+pub fn java_apps() -> Vec<AppSpec> {
+    use crate::collections::*;
+    vec![
+        AppSpec {
+            name: "CircularList",
+            lang: Lang::Java,
+            make: circular_list::program,
+        },
+        AppSpec {
+            name: "Dynarray",
+            lang: Lang::Java,
+            make: dynarray::program,
+        },
+        AppSpec {
+            name: "HashedMap",
+            lang: Lang::Java,
+            make: hashed_map::program,
+        },
+        AppSpec {
+            name: "HashedSet",
+            lang: Lang::Java,
+            make: hashed_set::program,
+        },
+        AppSpec {
+            name: "LLMap",
+            lang: Lang::Java,
+            make: llmap::program,
+        },
+        AppSpec {
+            name: "LinkedBuffer",
+            lang: Lang::Java,
+            make: linked_buffer::program,
+        },
+        AppSpec {
+            name: "LinkedList",
+            lang: Lang::Java,
+            make: linked_list::program,
+        },
+        AppSpec {
+            name: "RBMap",
+            lang: Lang::Java,
+            make: rbmap::program,
+        },
+        AppSpec {
+            name: "RBTree",
+            lang: Lang::Java,
+            make: rbtree::program,
+        },
+        AppSpec {
+            name: "RegExp",
+            lang: Lang::Java,
+            make: crate::regexp::program,
+        },
+    ]
+}
+
+/// Looks an application up by its Table 1 name. The §6.1 case-study
+/// variant is addressable as `"LinkedList-fixed"`.
+pub fn program_by_name(name: &str) -> Option<FnProgram> {
+    if name == "LinkedList-fixed" {
+        return Some(crate::collections::linked_list::fixed_program());
+    }
+    all_apps()
+        .into_iter()
+        .find(|a| a.name == name)
+        .map(|a| a.program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{Program, Vm};
+
+    #[test]
+    fn sixteen_apps_in_table1_order() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 16);
+        assert_eq!(cpp_apps().len(), 6);
+        assert_eq!(java_apps().len(), 10);
+        assert_eq!(apps[0].name, "adaptorChain");
+        assert_eq!(apps[6].name, "CircularList");
+        assert_eq!(apps[15].name, "RegExp");
+    }
+
+    #[test]
+    fn every_driver_runs_clean() {
+        for spec in all_apps() {
+            let p = spec.program();
+            assert_eq!(p.name(), spec.name);
+            let mut vm = Vm::new(p.build_registry());
+            p.run(&mut vm)
+                .unwrap_or_else(|e| panic!("{} driver failed: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program_by_name("RBMap").is_some());
+        assert!(program_by_name("LinkedList-fixed").is_some());
+        assert!(program_by_name("NoSuchApp").is_none());
+    }
+
+    #[test]
+    fn profiles_match_language() {
+        for spec in all_apps() {
+            let reg = spec.program().build_registry();
+            assert_eq!(reg.profile().lang, spec.lang, "{}", spec.name);
+        }
+    }
+}

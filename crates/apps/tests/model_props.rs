@@ -1,0 +1,354 @@
+//! Model-based property tests: each collection application behaves like
+//! its `std` counterpart under random operation sequences — with and
+//! without atomicity wrappers installed.
+
+use atomask_apps::collections;
+use atomask_mask::MaskingHook;
+use atomask_mor::{ObjId, Value, Vm};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+/// Installs deep-copy wrappers on *every* method — masking must be
+/// behaviour-preserving on fault-free runs, so the models must still agree.
+fn mask_everything(vm: &mut Vm) {
+    let all: std::collections::HashSet<_> = vm.registry().method_ids().collect();
+    vm.set_hook(Some(Rc::new(RefCell::new(MaskingHook::new(all)))));
+}
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    PushFront(i64),
+    PushBack(i64),
+    PopFront,
+    PopBack,
+    InsertAt(usize, i64),
+    RemoveAt(usize),
+    Reverse,
+}
+
+fn list_op() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (0i64..50).prop_map(ListOp::PushFront),
+        (0i64..50).prop_map(ListOp::PushBack),
+        Just(ListOp::PopFront),
+        Just(ListOp::PopBack),
+        (any::<usize>(), 0i64..50).prop_map(|(i, v)| ListOp::InsertAt(i, v)),
+        any::<usize>().prop_map(ListOp::RemoveAt),
+        Just(ListOp::Reverse),
+    ]
+}
+
+fn run_list_ops(vm: &mut Vm, list: ObjId, ops: &[ListOp]) -> VecDeque<i64> {
+    let mut model: VecDeque<i64> = VecDeque::new();
+    for op in ops {
+        match op {
+            ListOp::PushFront(v) => {
+                vm.call(list, "insertFirst", &[int(*v)]).unwrap();
+                model.push_front(*v);
+            }
+            ListOp::PushBack(v) => {
+                vm.call(list, "insertLast", &[int(*v)]).unwrap();
+                model.push_back(*v);
+            }
+            ListOp::PopFront => {
+                let got = vm.call(list, "removeFirst", &[]);
+                match model.pop_front() {
+                    Some(v) => assert_eq!(got.unwrap(), int(v)),
+                    None => assert!(got.is_err()),
+                }
+            }
+            ListOp::PopBack => {
+                let got = vm.call(list, "removeLast", &[]);
+                match model.pop_back() {
+                    Some(v) => assert_eq!(got.unwrap(), int(v)),
+                    None => assert!(got.is_err()),
+                }
+            }
+            ListOp::InsertAt(i, v) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let i = i % (model.len() + 1);
+                vm.call(list, "insertAt", &[int(i as i64), int(*v)]).unwrap();
+                model.insert(i, *v);
+            }
+            ListOp::RemoveAt(i) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let i = i % model.len();
+                let got = vm.call(list, "removeAt", &[int(i as i64)]).unwrap();
+                assert_eq!(got, int(model.remove(i).unwrap()));
+            }
+            ListOp::Reverse => {
+                vm.call(list, "reverse", &[]).unwrap();
+                model = model.into_iter().rev().collect();
+            }
+        }
+    }
+    model
+}
+
+fn check_list_matches(vm: &mut Vm, list: ObjId, model: &VecDeque<i64>) {
+    let size = vm.call(list, "size", &[]).unwrap().as_int().unwrap();
+    assert_eq!(size as usize, model.len());
+    for (i, v) in model.iter().enumerate() {
+        assert_eq!(vm.call(list, "at", &[int(i as i64)]).unwrap(), int(*v));
+    }
+    assert_eq!(
+        vm.call(list, "checkInvariant", &[]).unwrap(),
+        Value::Bool(true)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linked_list_matches_vecdeque(ops in prop::collection::vec(list_op(), 1..40)) {
+        for (buggy, masked) in [(true, false), (false, false), (true, true)] {
+            let registry = if buggy {
+                collections::linked_list::build_registry()
+            } else {
+                collections::linked_list::fixed_registry()
+            };
+            let mut vm = Vm::new(registry);
+            if masked {
+                mask_everything(&mut vm);
+            }
+            let list = vm.construct("LinkedList", &[]).unwrap();
+            vm.root(list);
+            let model = run_list_ops(&mut vm, list, &ops);
+            check_list_matches(&mut vm, list, &model);
+        }
+    }
+
+    #[test]
+    fn dynarray_matches_vec(
+        ops in prop::collection::vec((0u8..4, any::<usize>(), 0i64..50), 1..40)
+    ) {
+        let mut vm = Vm::new(collections::dynarray::build_registry());
+        let arr = vm.construct("Dynarray", &[int(2)]).unwrap();
+        vm.root(arr);
+        let mut model: Vec<i64> = Vec::new();
+        for (kind, i, v) in ops {
+            match kind {
+                0 => {
+                    vm.call(arr, "append", &[int(v)]).unwrap();
+                    model.push(v);
+                }
+                1 if !model.is_empty() => {
+                    let i = i % model.len();
+                    vm.call(arr, "setAt", &[int(i as i64), int(v)]).unwrap();
+                    model[i] = v;
+                }
+                2 if !model.is_empty() => {
+                    let i = i % model.len();
+                    let got = vm.call(arr, "removeAt", &[int(i as i64)]).unwrap();
+                    prop_assert_eq!(got, int(model.remove(i)));
+                }
+                3 => {
+                    let i = i % (model.len() + 1);
+                    vm.call(arr, "insertAt", &[int(i as i64), int(v)]).unwrap();
+                    model.insert(i, v);
+                }
+                _ => {}
+            }
+        }
+        let size = vm.call(arr, "size", &[]).unwrap().as_int().unwrap();
+        prop_assert_eq!(size as usize, model.len());
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(vm.call(arr, "at", &[int(i as i64)]).unwrap(), int(*v));
+        }
+    }
+
+    #[test]
+    fn hashed_map_matches_hashmap(
+        ops in prop::collection::vec((0u8..3, 0i64..25, 0i64..100), 1..60)
+    ) {
+        let mut vm = Vm::new(collections::hashed_map::build_registry());
+        let map = vm.construct("HashedMap", &[]).unwrap();
+        vm.root(map);
+        let mut model: std::collections::HashMap<i64, i64> = Default::default();
+        for (kind, k, v) in ops {
+            match kind {
+                0 => {
+                    let got = vm.call(map, "put", &[int(k), int(v)]).unwrap();
+                    let expected = model.insert(k, v);
+                    prop_assert_eq!(got, expected.map(int).unwrap_or(Value::Null));
+                }
+                1 => {
+                    let got = vm.call(map, "remove", &[int(k)]).unwrap();
+                    let expected = model.remove(&k);
+                    prop_assert_eq!(got, expected.map(int).unwrap_or(Value::Null));
+                }
+                _ => {
+                    let got = vm.call(map, "get", &[int(k)]).unwrap();
+                    let expected = model.get(&k).copied();
+                    prop_assert_eq!(got, expected.map(int).unwrap_or(Value::Null));
+                }
+            }
+        }
+        let size = vm.call(map, "size", &[]).unwrap().as_int().unwrap();
+        prop_assert_eq!(size as usize, model.len());
+        prop_assert_eq!(
+            vm.call(map, "checkInvariant", &[]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn hashed_set_matches_hashset(
+        ops in prop::collection::vec((0u8..3, 0i64..25), 1..60)
+    ) {
+        let mut vm = Vm::new(collections::hashed_set::build_registry());
+        let set = vm.construct("HashedSet", &[]).unwrap();
+        vm.root(set);
+        let mut model: std::collections::HashSet<i64> = Default::default();
+        for (kind, k) in ops {
+            match kind {
+                0 => {
+                    let got = vm.call(set, "add", &[int(k)]).unwrap();
+                    prop_assert_eq!(got, Value::Bool(model.insert(k)));
+                }
+                1 => {
+                    let got = vm.call(set, "remove", &[int(k)]).unwrap();
+                    prop_assert_eq!(got, Value::Bool(model.remove(&k)));
+                }
+                _ => {
+                    let got = vm.call(set, "contains", &[int(k)]).unwrap();
+                    prop_assert_eq!(got, Value::Bool(model.contains(&k)));
+                }
+            }
+        }
+        let size = vm.call(set, "size", &[]).unwrap().as_int().unwrap();
+        prop_assert_eq!(size as usize, model.len());
+    }
+
+    #[test]
+    fn rbmap_matches_btreemap_with_masking(
+        ops in prop::collection::vec((0u8..2, 0i64..30, 0i64..100), 1..50)
+    ) {
+        let mut vm = Vm::new(collections::rbmap::build_registry());
+        mask_everything(&mut vm);
+        let map = vm.construct("RBMap", &[]).unwrap();
+        vm.root(map);
+        let mut model: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (kind, k, v) in ops {
+            match kind {
+                0 => {
+                    let got = vm.call(map, "put", &[int(k), int(v)]).unwrap();
+                    prop_assert_eq!(got, model.insert(k, v).map(int).unwrap_or(Value::Null));
+                }
+                _ => {
+                    let got = vm.call(map, "remove", &[int(k)]).unwrap();
+                    prop_assert_eq!(got, model.remove(&k).map(int).unwrap_or(Value::Null));
+                }
+            }
+            prop_assert!(collections::rbmap::invariant_holds(&vm, map));
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(vm.call(map, "get", &[int(*k)]).unwrap(), int(*v));
+        }
+    }
+
+    #[test]
+    fn regexp_agrees_with_reference_on_simple_patterns(
+        pattern_atoms in prop::collection::vec(
+            prop_oneof![Just("a"), Just("b"), Just("."), Just("a*"), Just("b?")],
+            1..5
+        ),
+        input in "[ab]{0,6}",
+    ) {
+        let pattern: String = pattern_atoms.concat();
+        let mut vm = Vm::new(atomask_apps::regexp::build_registry());
+        let re = vm
+            .construct("RegExp", &[Value::Str(pattern.clone())])
+            .expect("generated patterns are valid");
+        vm.root(re);
+        let got = vm
+            .call(re, "matches", &[Value::Str(input.clone())])
+            .unwrap()
+            .as_bool()
+            .unwrap();
+        // Reference: a tiny host-side backtracking matcher over the same
+        // restricted syntax.
+        let expected = reference_match(&pattern, &input);
+        prop_assert_eq!(got, expected, "pattern {:?} vs {:?}", pattern, input);
+    }
+}
+
+/// Reference matcher for the restricted generated syntax (literals, `.`,
+/// postfix `*`/`?`), full match.
+fn reference_match(pattern: &str, input: &str) -> bool {
+    #[derive(Debug)]
+    enum Tok {
+        Char(char),
+        Any,
+        Star(Box<Tok>),
+        Opt(Box<Tok>),
+    }
+    let mut toks = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let base = match chars[i] {
+            '.' => Tok::Any,
+            c => Tok::Char(c),
+        };
+        i += 1;
+        match chars.get(i) {
+            Some('*') => {
+                toks.push(Tok::Star(Box::new(base)));
+                i += 1;
+            }
+            Some('?') => {
+                toks.push(Tok::Opt(Box::new(base)));
+                i += 1;
+            }
+            _ => toks.push(base),
+        }
+    }
+    fn single(t: &Tok, c: char) -> bool {
+        match t {
+            Tok::Char(x) => *x == c,
+            Tok::Any => true,
+            _ => unreachable!("nested postfix"),
+        }
+    }
+    fn go(toks: &[Tok], input: &[char]) -> bool {
+        match toks.first() {
+            None => input.is_empty(),
+            Some(Tok::Star(inner)) => {
+                if go(&toks[1..], input) {
+                    return true;
+                }
+                let mut k = 0;
+                while k < input.len() && single(inner, input[k]) {
+                    k += 1;
+                    if go(&toks[1..], &input[k..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some(Tok::Opt(inner)) => {
+                if !input.is_empty() && single(inner, input[0]) && go(&toks[1..], &input[1..]) {
+                    return true;
+                }
+                go(&toks[1..], input)
+            }
+            Some(t) => {
+                !input.is_empty() && single(t, input[0]) && go(&toks[1..], &input[1..])
+            }
+        }
+    }
+    let input: Vec<char> = input.chars().collect();
+    go(&toks, &input)
+}

@@ -1,0 +1,157 @@
+//! Property tests of the Self\* XML substrate: parse∘serialize is the
+//! identity on generated documents, and parsing never dirties the parser.
+
+use atomask_mor::{ObjId, Value, Vm};
+use proptest::prelude::*;
+
+/// A generated XML document model.
+#[derive(Debug, Clone)]
+struct Elem {
+    tag: String,
+    attrs: Vec<(String, String)>,
+    text: String,
+    children: Vec<Elem>,
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn elem_strategy() -> impl Strategy<Value = Elem> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), "[a-z0-9 ]{0,6}"), 0..3),
+        "[a-z0-9]{0,8}",
+    )
+        .prop_map(|(tag, attrs, text)| Elem {
+            tag,
+            attrs,
+            text,
+            children: Vec::new(),
+        });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), "[a-z0-9 ]{0,6}"), 0..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, attrs, children)| Elem {
+                tag,
+                attrs,
+                text: String::new(),
+                children,
+            })
+    })
+}
+
+/// Serializes the model the way `XmlWriter` does (compact form), after
+/// deduplicating attribute names (the parser keeps duplicates, but a
+/// canonical document should not have them).
+fn render(elem: &Elem) -> String {
+    let mut out = format!("<{}", elem.tag);
+    let mut seen = std::collections::HashSet::new();
+    for (k, v) in &elem.attrs {
+        if seen.insert(k.clone()) {
+            out.push_str(&format!(" {k}=\"{v}\""));
+        }
+    }
+    if elem.text.is_empty() && elem.children.is_empty() {
+        out.push_str("/>");
+        return out;
+    }
+    out.push('>');
+    out.push_str(&elem.text);
+    for c in &elem.children {
+        out.push_str(&render(c));
+    }
+    out.push_str(&format!("</{}>", elem.tag));
+    out
+}
+
+fn xml_vm() -> Vm {
+    // Reuse the full xml2xml registry, which registers the XML substrate.
+    Vm::new(atomask_apps::selfstar::xml2xml::build_registry())
+}
+
+fn parse(vm: &mut Vm, doc: &str) -> Result<ObjId, atomask_mor::Exception> {
+    let p = vm.construct("XmlParser", &[Value::Str(doc.to_owned())])?;
+    vm.root(p);
+    let root = vm.call(p, "parseDocument", &[])?;
+    Ok(root.as_ref_id().expect("document root"))
+}
+
+fn serialize(vm: &mut Vm, root: ObjId) -> String {
+    let w = vm.construct("XmlWriter", &[]).expect("ctor");
+    vm.root(w);
+    vm.call(w, "writeDoc", &[Value::Ref(root)])
+        .expect("serialization cannot fail")
+        .as_str()
+        .expect("writer returns a string")
+        .to_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// parse ∘ serialize is the identity on canonical documents.
+    #[test]
+    fn parse_serialize_round_trips(doc in elem_strategy()) {
+        let rendered = render(&doc);
+        let mut vm = xml_vm();
+        let root = parse(&mut vm, &rendered).expect("generated docs are valid");
+        prop_assert_eq!(serialize(&mut vm, root), rendered);
+    }
+
+    /// Serializing, reparsing and reserializing is stable (idempotence of
+    /// the canonical form).
+    #[test]
+    fn serialization_is_idempotent(doc in elem_strategy()) {
+        let rendered = render(&doc);
+        let mut vm = xml_vm();
+        let root = parse(&mut vm, &rendered).expect("valid");
+        let once = serialize(&mut vm, root);
+        let root2 = parse(&mut vm, &once).expect("writer output is valid");
+        prop_assert_eq!(serialize(&mut vm, root2), once);
+    }
+
+    /// The parser object's graph is untouched by parsing — success or
+    /// failure (the exception-safe style that keeps it failure atomic).
+    #[test]
+    fn parser_state_is_never_dirtied(doc in elem_strategy(), cut in any::<prop::sample::Index>()) {
+        use atomask_objgraph::Snapshot;
+        let rendered = render(&doc);
+        // Truncate somewhere to produce a (usually) malformed document.
+        let cut = cut.index(rendered.len().max(1));
+        let broken: String = rendered.chars().take(cut).collect();
+        let mut vm = xml_vm();
+        let p = vm
+            .construct("XmlParser", &[Value::Str(broken)])
+            .expect("ctor");
+        vm.root(p);
+        let before = Snapshot::of(vm.heap(), p);
+        let _ = vm.call(p, "parseDocument", &[]);
+        prop_assert_eq!(Snapshot::of(vm.heap(), p), before);
+    }
+
+    /// Attribute lookup agrees with the model.
+    #[test]
+    fn attribute_lookup_matches_model(doc in elem_strategy()) {
+        let rendered = render(&doc);
+        let mut vm = xml_vm();
+        let root = parse(&mut vm, &rendered).expect("valid");
+        let mut seen = std::collections::HashSet::new();
+        for (k, v) in &doc.attrs {
+            if !seen.insert(k.clone()) {
+                continue; // deduplicated at render time
+            }
+            let got = vm
+                .call(root, "attr", &[Value::Str(k.clone())])
+                .unwrap();
+            prop_assert_eq!(got, Value::Str(v.clone()));
+        }
+        let missing = vm
+            .call(root, "attr", &[Value::Str("zzz-missing".into())])
+            .unwrap();
+        prop_assert_eq!(missing, Value::Null);
+    }
+}

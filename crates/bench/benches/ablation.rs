@@ -1,0 +1,119 @@
+//! Ablation: the design choices DESIGN.md calls out.
+//!
+//! * **Deep-copy vs. undo-log atomicity wrappers** (paper §6.2 suggests
+//!   copy-on-write for very large objects): per-call cost of both
+//!   strategies across object sizes, on the success path (no rollback) and
+//!   on the failure path (rollback every call).
+//! * **Snapshot (canonical trace) vs. checkpoint (deep copy)** for the
+//!   detection phase's `deep_copy`: the trace is compare-only, the
+//!   checkpoint restorable — the trace should stay cheaper.
+
+use atomask::synthetic::perf_vm;
+use atomask::{Checkpoint, MaskingHook, Snapshot, UndoMaskingHook, Value, Vm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn wrapped_gid(vm: &Vm) -> atomask::MethodId {
+    let holder = vm.registry().class_by_name("Holder").expect("perf registry");
+    holder.methods[holder.method_slot("workWrapped").expect("method")].gid
+}
+
+fn bench_strategy_success_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_success");
+    for bytes in [64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("deep_copy", bytes), &bytes, |b, &bytes| {
+            let (mut vm, holder) = perf_vm(bytes);
+            let gid = wrapped_gid(&vm);
+            vm.set_hook(Some(Rc::new(RefCell::new(MaskingHook::wrapping([gid])))));
+            b.iter(|| black_box(vm.call(holder, "workWrapped", &[]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("undo_log", bytes), &bytes, |b, &bytes| {
+            let (mut vm, holder) = perf_vm(bytes);
+            let gid = wrapped_gid(&vm);
+            vm.set_hook(Some(Rc::new(RefCell::new(UndoMaskingHook::wrapping([
+                gid,
+            ])))));
+            b.iter(|| black_box(vm.call(holder, "workWrapped", &[]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// A program whose wrapped method always throws, to time the rollback
+/// itself.
+fn failing_vm(object_bytes: usize) -> (Vm, atomask::ObjId, atomask::MethodId) {
+    use atomask::{Profile, RegistryBuilder};
+    let mut rb = RegistryBuilder::new(Profile::cpp());
+    rb.exception("Boom");
+    rb.class("Holder", |c| {
+        c.field("payload", Value::Str(String::new()));
+        c.field("a", Value::Int(0));
+        c.ctor(move |ctx, this, _| {
+            ctx.set(this, "payload", Value::Str("x".repeat(object_bytes)));
+            Ok(Value::Null)
+        });
+        c.method("failing", |ctx, this, _| {
+            let a = ctx.get_int(this, "a");
+            ctx.set(this, "a", Value::Int(a + 1));
+            Err(ctx.exception("Boom", "always"))
+        });
+    });
+    let mut vm = Vm::new(rb.build());
+    let h = vm.construct("Holder", &[]).expect("ctor");
+    vm.root(h);
+    let holder_class = vm.registry().class_by_name("Holder").unwrap();
+    let gid = holder_class.methods[holder_class.method_slot("failing").unwrap()].gid;
+    (vm, h, gid)
+}
+
+fn bench_strategy_failure_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_rollback");
+    for bytes in [64usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("deep_copy", bytes), &bytes, |b, &bytes| {
+            let (mut vm, holder, gid) = failing_vm(bytes);
+            vm.set_hook(Some(Rc::new(RefCell::new(MaskingHook::wrapping([gid])))));
+            b.iter(|| {
+                let _ = black_box(vm.call(holder, "failing", &[]));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("undo_log", bytes), &bytes, |b, &bytes| {
+            let (mut vm, holder, gid) = failing_vm(bytes);
+            vm.set_hook(Some(Rc::new(RefCell::new(UndoMaskingHook::wrapping([
+                gid,
+            ])))));
+            b.iter(|| {
+                let _ = black_box(vm.call(holder, "failing", &[]));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_vs_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_vs_checkpoint");
+    for bytes in [64usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("snapshot", bytes), &bytes, |b, &bytes| {
+            let (vm, holder) = perf_vm(bytes);
+            b.iter(|| black_box(Snapshot::of(vm.heap(), holder)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("checkpoint", bytes),
+            &bytes,
+            |b, &bytes| {
+                let (vm, holder) = perf_vm(bytes);
+                b.iter(|| black_box(Checkpoint::capture(vm.heap(), &[holder])));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategy_success_path,
+    bench_strategy_failure_path,
+    bench_trace_vs_checkpoint
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Detection-phase benchmarks: the cost of full injection campaigns over
+//! representative Table 1 applications (one small app per language) and of
+//! single instrumented runs.
+
+use atomask::{Campaign, Program};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for name in ["stdQ", "LinkedBuffer"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let program = atomask::apps::program_by_name(name).expect("suite app");
+            b.iter(|| black_box(Campaign::new(&program).run().total_points));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_run");
+    for name in ["stdQ", "LinkedBuffer", "RegExp"] {
+        // Baseline: uninstrumented driver run.
+        group.bench_with_input(BenchmarkId::new("plain", name), &name, |b, name| {
+            let program = atomask::apps::program_by_name(name).expect("suite app");
+            b.iter(|| {
+                let mut vm = atomask::Vm::new(program.build_registry());
+                black_box(program.run(&mut vm)).ok();
+            });
+        });
+        // One injector run (observation mode: snapshots on every call).
+        group.bench_with_input(BenchmarkId::new("observed", name), &name, |b, name| {
+            let program = atomask::apps::program_by_name(name).expect("suite app");
+            b.iter(|| {
+                let mut vm = atomask::Vm::new(program.build_registry());
+                let hook = std::rc::Rc::new(std::cell::RefCell::new(
+                    atomask::InjectionHook::observing(),
+                ));
+                vm.set_hook(Some(hook));
+                black_box(program.run(&mut vm)).ok();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns, bench_single_runs);
+criterion_main!(benches);

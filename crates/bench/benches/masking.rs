@@ -1,0 +1,48 @@
+//! Fig. 5 as a Criterion bench: masked call cost across the checkpoint
+//! size × wrapped-call fraction grid, against the unmasked baseline.
+
+use atomask::synthetic::perf_vm;
+use atomask::MaskingHook;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn masked_vm(object_bytes: usize) -> (atomask::Vm, atomask::ObjId) {
+    let (mut vm, holder) = perf_vm(object_bytes);
+    let registry = vm.registry().clone();
+    let class = registry.class_by_name("Holder").expect("perf registry");
+    let gid = class.methods[class.method_slot("workWrapped").expect("method")].gid;
+    vm.set_hook(Some(Rc::new(RefCell::new(MaskingHook::wrapping([gid])))));
+    (vm, holder)
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    for bytes in [64usize, 1024, 16384] {
+        // Baseline: the unwrapped method with the hook installed (checks
+        // the wrap set, takes no checkpoint).
+        group.bench_with_input(
+            BenchmarkId::new("unwrapped_call", bytes),
+            &bytes,
+            |b, &bytes| {
+                let (mut vm, holder) = masked_vm(bytes);
+                b.iter(|| black_box(vm.call(holder, "work", &[]).unwrap()));
+            },
+        );
+        // The wrapped method: checkpoint on every call (100% column of
+        // Fig. 5; intermediate fractions interpolate linearly).
+        group.bench_with_input(
+            BenchmarkId::new("wrapped_call", bytes),
+            &bytes,
+            |b, &bytes| {
+                let (mut vm, holder) = masked_vm(bytes);
+                b.iter(|| black_box(vm.call(holder, "workWrapped", &[]).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

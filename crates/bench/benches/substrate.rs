@@ -1,0 +1,55 @@
+//! Substrate micro-benchmarks: the cost of the managed runtime's dispatch,
+//! snapshots and checkpoints — the primitives whose constants determine
+//! the detection campaign's running time and Fig. 5's overhead curve.
+
+use atomask::synthetic::perf_vm;
+use atomask::{Checkpoint, Snapshot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function("call_unhooked", |b| {
+        let (mut vm, holder) = perf_vm(64);
+        b.iter(|| black_box(vm.call(holder, "work", &[]).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for bytes in [64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            let (vm, holder) = perf_vm(bytes);
+            b.iter(|| black_box(Snapshot::of(vm.heap(), holder)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    for bytes in [64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("capture", bytes),
+            &bytes,
+            |b, &bytes| {
+                let (vm, holder) = perf_vm(bytes);
+                b.iter(|| black_box(Checkpoint::capture(vm.heap(), &[holder])));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("capture_restore", bytes),
+            &bytes,
+            |b, &bytes| {
+                let (mut vm, holder) = perf_vm(bytes);
+                let cp = Checkpoint::capture(vm.heap(), &[holder]);
+                b.iter(|| cp.restore(vm.heap_mut()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_snapshot, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! report [table1|fig2|fig3|fig4|fig5|casestudy|all] [--quick]
+//! ```
+//!
+//! `--quick` caps every campaign at 300 injection points and shrinks the
+//! Fig. 5 grid; without it the full sweeps run (as in the paper).
+
+use atomask::report::{
+    render_case_study, render_class_distribution, render_method_classification, render_overhead,
+    render_table1,
+};
+use atomask::{classify, overhead, Campaign, Lang, MarkFilter};
+use atomask_bench::evaluate_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let cap = if quick { Some(300) } else { None };
+
+    let needs_eval = matches!(what, "table1" | "fig2" | "fig3" | "fig4" | "all");
+    let rows = if needs_eval {
+        evaluate_apps(&atomask::apps::all_apps(), cap)
+    } else {
+        Vec::new()
+    };
+
+    if matches!(what, "table1" | "all") {
+        println!("{}", render_table1(&rows));
+    }
+    if matches!(what, "fig2" | "all") {
+        println!("{}", render_method_classification(&rows, Lang::Cpp));
+    }
+    if matches!(what, "fig3" | "all") {
+        println!("{}", render_method_classification(&rows, Lang::Java));
+    }
+    if matches!(what, "fig4" | "all") {
+        println!("{}", render_class_distribution(&rows));
+    }
+    if matches!(what, "fig5" | "all") {
+        let (calls, runs) = if quick { (300, 7) } else { (2_000, 41) };
+        let mut samples = Vec::new();
+        for &bytes in &overhead::OBJECT_SIZES {
+            for &pct in &overhead::WRAPPED_PCTS {
+                eprintln!("measuring fig5 point: {bytes} B, {pct}% wrapped ...");
+                samples.push(overhead::measure(bytes, pct, calls, runs));
+            }
+        }
+        println!("{}", render_overhead(&samples));
+
+        // Ablation: the paper's §6.2 copy-on-write suggestion, at the
+        // worst-case column (100% wrapped calls).
+        let mut undo = Vec::new();
+        for &bytes in &overhead::OBJECT_SIZES {
+            eprintln!("measuring undo-log ablation: {bytes} B ...");
+            undo.push(overhead::measure_with(
+                atomask::MaskStrategy::UndoLog,
+                bytes,
+                100,
+                calls,
+                runs,
+            ));
+        }
+        println!("Ablation: undo-log wrappers at 100% wrapped calls (§6.2)");
+        println!("{}", render_overhead(&undo));
+    }
+    if matches!(what, "casestudy" | "all") {
+        eprintln!("running LinkedList case study ...");
+        let buggy = atomask::apps::collections::linked_list::program();
+        let fixed = atomask::apps::collections::linked_list::fixed_program();
+        let mut c1 = Campaign::new(&buggy);
+        let mut c2 = Campaign::new(&fixed);
+        if let Some(cap) = cap {
+            c1 = c1.max_points(cap);
+            c2 = c2.max_points(cap);
+        }
+        let buggy_c = classify(&c1.run(), &MarkFilter::default());
+        let fixed_c = classify(&c2.run(), &MarkFilter::default());
+        println!("{}", render_case_study(&buggy_c, &fixed_c));
+    }
+}

@@ -1,0 +1,40 @@
+//! # atomask-bench — the benchmark harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! * the `report` binary prints Table 1, Figs. 2–5 and the §6.1 case study
+//!   (`cargo run --release -p atomask-bench --bin report -- all`);
+//! * the Criterion benches time the substrate (`substrate`), the detection
+//!   campaigns (`detection`) and the masking overhead grid (`masking`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atomask::report::{evaluate, AppEvaluation};
+use atomask_apps::AppSpec;
+
+/// Evaluates a list of suite applications, printing progress to stderr.
+///
+/// `cap` limits each campaign's injector runs (`None` = full sweep).
+pub fn evaluate_apps(specs: &[AppSpec], cap: Option<u64>) -> Vec<AppEvaluation> {
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!("campaigning {} ...", spec.name);
+            evaluate(spec, cap)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_apps_respects_cap() {
+        let specs: Vec<AppSpec> = atomask_apps::cpp_apps().into_iter().take(1).collect();
+        let rows = evaluate_apps(&specs, Some(50));
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].injections >= 50);
+    }
+}

@@ -1,0 +1,191 @@
+//! The end-to-end pipeline: steps 1–5 of the paper's Fig. 1 plus the
+//! corrected-program validation.
+
+use atomask_inject::{classify, Campaign, CampaignResult, Classification};
+use atomask_mask::{verify_masked, Policy};
+use atomask_mor::{MethodId, Program};
+use std::collections::HashSet;
+
+/// Everything the pipeline produced for one program.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Raw detection campaign data (runs, marks, baseline calls).
+    pub detection: CampaignResult,
+    /// Classification of the original program under the policy's filter.
+    pub classification: Classification,
+    /// Methods the policy selected for atomicity wrappers.
+    pub mask_set: HashSet<MethodId>,
+    /// Classification of the corrected program `P_C`.
+    pub verified: Classification,
+}
+
+impl PipelineReport {
+    /// `true` iff the corrected program exhibited no failure non-atomic
+    /// method in the verification campaign.
+    pub fn corrected_is_atomic(&self) -> bool {
+        self.verified.method_counts.pure_nonatomic == 0
+            && self.verified.method_counts.conditional == 0
+    }
+
+    /// Display names of the methods that were wrapped.
+    pub fn wrapped_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .mask_set
+            .iter()
+            .map(|m| self.detection.registry.method_display(*m))
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// Runs detection → classification → policy → masking → verification over
+/// one program.
+///
+/// ```
+/// use atomask::{Pipeline, Policy};
+/// let program = atomask::apps::program_by_name("LinkedBuffer").unwrap();
+/// let report = Pipeline::new(&program)
+///     .policy(Policy::default())
+///     .run();
+/// assert!(report.corrected_is_atomic());
+/// ```
+pub struct Pipeline<'p> {
+    program: &'p dyn Program,
+    policy: Policy,
+    max_points: Option<u64>,
+}
+
+impl std::fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("program", &self.program.name())
+            .field("max_points", &self.max_points)
+            .finish()
+    }
+}
+
+impl<'p> Pipeline<'p> {
+    /// Creates a pipeline over `program` with the default policy.
+    pub fn new(program: &'p dyn Program) -> Self {
+        Pipeline {
+            program,
+            policy: Policy::default(),
+            max_points: None,
+        }
+    }
+
+    /// Sets the wrapping policy (§4.3).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps both campaigns at `cap` injection points (useful for quick
+    /// looks at large programs; the default sweeps every point, as the
+    /// paper does).
+    pub fn max_points(mut self, cap: u64) -> Self {
+        self.max_points = Some(cap);
+        self
+    }
+
+    /// Executes the full pipeline.
+    pub fn run(&self) -> PipelineReport {
+        let mut campaign = Campaign::new(self.program);
+        if let Some(cap) = self.max_points {
+            campaign = campaign.max_points(cap);
+        }
+        let detection = campaign.run();
+        let classification = classify(&detection, &self.policy.mark_filter());
+        let mask_set = self.policy.mask_set(&classification);
+        let verified = verify_masked_capped(
+            self.program,
+            &mask_set,
+            &self.policy,
+            self.max_points,
+        );
+        PipelineReport {
+            detection,
+            classification,
+            mask_set,
+            verified,
+        }
+    }
+}
+
+fn verify_masked_capped(
+    program: &dyn Program,
+    mask_set: &HashSet<MethodId>,
+    policy: &Policy,
+    cap: Option<u64>,
+) -> Classification {
+    match cap {
+        None => verify_masked(program, mask_set, &policy.mark_filter()),
+        Some(cap) => {
+            // Re-implement verify_masked with a cap (the helper itself
+            // always sweeps fully).
+            use atomask_mask::MaskingHook;
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let mask_set = mask_set.clone();
+            let result = Campaign::new(program)
+                .with_inner_hook(move |_| {
+                    Rc::new(RefCell::new(MaskingHook::new(mask_set.clone())))
+                })
+                .max_points(cap)
+                .run();
+            classify(&result, &policy.mark_filter())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::validation_program;
+    use atomask_inject::Verdict;
+
+    #[test]
+    fn pipeline_masks_the_validation_program() {
+        let p = validation_program();
+        let report = Pipeline::new(&p).run();
+        assert!(
+            report.classification.method_counts.pure_nonatomic > 0,
+            "validation program plants pure non-atomic methods"
+        );
+        assert!(report.corrected_is_atomic(), "{:#?}", report.verified);
+        assert!(!report.wrapped_names().is_empty());
+    }
+
+    #[test]
+    fn wrap_everything_also_works() {
+        let p = validation_program();
+        let report = Pipeline::new(&p).policy(Policy::wrap_everything()).run();
+        assert!(report.corrected_is_atomic());
+        // Wrapping conditionals too means a strictly larger mask set.
+        let default_report = Pipeline::new(&p).run();
+        assert!(report.mask_set.len() >= default_report.mask_set.len());
+    }
+
+    #[test]
+    fn max_points_caps_both_campaigns() {
+        let p = validation_program();
+        let report = Pipeline::new(&p).max_points(5).run();
+        assert_eq!(report.detection.injections(), 5);
+    }
+
+    #[test]
+    fn ground_truth_matches_classifier() {
+        let p = validation_program();
+        let report = Pipeline::new(&p).run();
+        for (name, verdict) in crate::synthetic::ground_truth() {
+            let got = report
+                .classification
+                .method(name)
+                .unwrap_or_else(|| panic!("method {name} missing"))
+                .verdict;
+            assert_eq!(got, Some(verdict), "{name}");
+        }
+        let _ = Verdict::FailureAtomic;
+    }
+}

@@ -1,0 +1,103 @@
+//! The Analyzer (step 1 of Fig. 1): per-method injection plans.
+//!
+//! For every method the Analyzer determines the list of exception types its
+//! injection wrapper must be able to throw: the declared exceptions
+//! `E_1 .. E_k` followed by the profile's generic runtime exceptions
+//! `E_{k+1} .. E_n` (Listing 1). Methods annotated as never-throwing and
+//! methods of non-instrumentable core classes get empty plans.
+
+use atomask_mor::{ExcId, MethodId, Registry};
+
+/// The injection plan of one method: which exceptions its wrapper throws,
+/// in Listing 1 order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// The planned method.
+    pub method: MethodId,
+    /// Exception types, declared first, then generic runtime exceptions.
+    pub exceptions: Vec<ExcId>,
+    /// Whether a wrapper is woven at all (core classes under the Java
+    /// profile get none, so they are neither injected into nor observed).
+    pub instrumented: bool,
+}
+
+impl InjectionPlan {
+    /// Number of potential injection points contributed per dynamic call.
+    pub fn points_per_call(&self) -> u64 {
+        self.exceptions.len() as u64
+    }
+}
+
+/// Computes the injection plan for one method.
+pub fn method_injection_plan(registry: &Registry, method: MethodId) -> InjectionPlan {
+    InjectionPlan {
+        method,
+        exceptions: registry.injectable_exceptions(method),
+        instrumented: registry.instrumentable(method),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{Profile, RegistryBuilder, Value};
+
+    #[test]
+    fn declared_exceptions_come_first() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("A", |c| {
+            c.method("m", |_, _, _| Ok(Value::Null))
+                .throws("IOError")
+                .throws("ParseError");
+        });
+        let reg = rb.build();
+        let m = reg.class_by_name("A").unwrap().methods[0].gid;
+        let plan = method_injection_plan(&reg, m);
+        let names: Vec<&str> = plan
+            .exceptions
+            .iter()
+            .map(|e| reg.exceptions().name(*e))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "IOError",
+                "ParseError",
+                "RuntimeException",
+                "OutOfMemoryError"
+            ]
+        );
+        assert_eq!(plan.points_per_call(), 4);
+        assert!(plan.instrumented);
+    }
+
+    #[test]
+    fn core_class_plan_is_empty_under_java() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Str", |c| {
+            c.core();
+            c.method("len", |_, _, _| Ok(Value::Int(0)));
+        });
+        let reg = rb.build();
+        let m = reg.class_by_name("Str").unwrap().methods[0].gid;
+        let plan = method_injection_plan(&reg, m);
+        assert!(plan.exceptions.is_empty());
+        assert!(!plan.instrumented);
+    }
+
+    #[test]
+    fn never_throws_plan_is_empty_but_instrumented() {
+        let mut rb = RegistryBuilder::new(Profile::cpp());
+        rb.class("A", |c| {
+            c.method("quiet", |_, _, _| Ok(Value::Null)).never_throws();
+        });
+        let reg = rb.build();
+        let m = reg.class_by_name("A").unwrap().methods[0].gid;
+        let plan = method_injection_plan(&reg, m);
+        assert!(plan.exceptions.is_empty());
+        assert!(
+            plan.instrumented,
+            "never-throws methods still get atomicity-observing wrappers"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The experiment runner (step 3 of Fig. 1): execute the exception injector
+//! program once per potential injection point.
+
+use crate::hook::InjectionHook;
+use crate::marks::Mark;
+use atomask_mor::{CallHook, ExcId, HookChain, MethodId, Program, Registry, Vm};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Factory producing the hook woven *inside* the injection wrappers.
+type InnerHookFactory = Box<dyn Fn(&Registry) -> Rc<RefCell<dyn CallHook>>>;
+
+/// The outcome of one injector run (one `InjectionPoint` value).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The `InjectionPoint` threshold of this run (1-based).
+    pub injection_point: u64,
+    /// The method whose wrapper threw, and the exception type, if the
+    /// threshold was reached during the run.
+    pub injected: Option<(MethodId, ExcId)>,
+    /// Atomicity marks in wrapper-execution order (callee→caller).
+    pub marks: Vec<Mark>,
+    /// Rendered top-level exception, if one escaped the driver.
+    pub top_error: Option<String>,
+}
+
+/// The aggregated outcome of a full detection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Program name.
+    pub program: String,
+    /// A representative registry (the program builds an identical one per
+    /// run) for resolving names in reports.
+    pub registry: Rc<Registry>,
+    /// Total potential injection points `N` (Table 1's `#Injections`).
+    pub total_points: u64,
+    /// Per-method dynamic call counts from the uninstrumented baseline run
+    /// (the weights of Figs. 2b/3b).
+    pub baseline_calls: Vec<u64>,
+    /// One result per executed injector run.
+    pub runs: Vec<RunResult>,
+}
+
+impl CampaignResult {
+    /// Number of injector runs executed (= injections performed, barring a
+    /// `max_points` cap).
+    pub fn injections(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Method ids that were called at least once in the baseline run.
+    pub fn used_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.baseline_calls
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| MethodId::from_raw(i as u32))
+    }
+}
+
+/// Builds and executes detection campaigns over a [`Program`].
+///
+/// The campaign first performs a counting run (no injection) to size the
+/// sweep and collect baseline call statistics, then executes the program
+/// once per potential injection point with `InjectionPoint = 1..=N`, on a
+/// fresh VM each time.
+pub struct Campaign<'p> {
+    program: &'p dyn Program,
+    inner_hook: Option<InnerHookFactory>,
+    max_points: Option<u64>,
+}
+
+impl std::fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("program", &self.program.name())
+            .field("capped", &self.max_points)
+            .finish()
+    }
+}
+
+impl<'p> Campaign<'p> {
+    /// Creates a campaign over `program`.
+    pub fn new(program: &'p dyn Program) -> Self {
+        Campaign {
+            program,
+            inner_hook: None,
+            max_points: None,
+        }
+    }
+
+    /// Weaves an additional hook *inside* the injection wrappers in every
+    /// run (and in the baseline run). Used to validate corrected programs:
+    /// pass a factory producing the masking hook, and the campaign measures
+    /// the program as its users would see it — with atomicity wrappers
+    /// rolling back before the injection wrappers compare.
+    pub fn with_inner_hook(
+        mut self,
+        factory: impl Fn(&Registry) -> Rc<RefCell<dyn CallHook>> + 'static,
+    ) -> Self {
+        self.inner_hook = Some(Box::new(factory));
+        self
+    }
+
+    /// Caps the number of injector runs (useful for very large programs;
+    /// the paper's campaigns run every point, which is also the default
+    /// here).
+    pub fn max_points(mut self, cap: u64) -> Self {
+        self.max_points = Some(cap);
+        self
+    }
+
+    /// Executes the campaign.
+    pub fn run(&self) -> CampaignResult {
+        let registry = Rc::new(self.program.build_registry());
+
+        // Counting / baseline run.
+        let mut vm = Vm::new(self.program.build_registry());
+        let counter = Rc::new(RefCell::new(InjectionHook::counting()));
+        self.install(&mut vm, counter.clone());
+        let _ = self.program.run(&mut vm);
+        let total_points = counter.borrow().points();
+        let baseline_calls = vm.stats().calls.clone();
+
+        let limit = self.max_points.unwrap_or(total_points).min(total_points);
+        let mut runs = Vec::with_capacity(limit as usize);
+        for injection_point in 1..=limit {
+            let mut vm = Vm::new(self.program.build_registry());
+            let hook = Rc::new(RefCell::new(InjectionHook::with_injection_point(
+                injection_point,
+            )));
+            self.install(&mut vm, hook.clone());
+            let outcome = self.program.run(&mut vm);
+            // Release the VM's clone(s) of the hook (direct or via a
+            // HookChain) so the results can be moved out.
+            vm.set_hook(None);
+            drop(vm);
+            let hook = Rc::try_unwrap(hook)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|_| panic!("injection hook still shared after run"));
+            runs.push(RunResult {
+                injection_point,
+                injected: hook.injected(),
+                marks: hook.into_marks(),
+                top_error: outcome.err().map(|e| e.to_string()),
+            });
+        }
+
+        CampaignResult {
+            program: self.program.name().to_owned(),
+            registry,
+            total_points,
+            baseline_calls,
+            runs,
+        }
+    }
+
+    fn install(&self, vm: &mut Vm, injector: Rc<RefCell<InjectionHook>>) {
+        match &self.inner_hook {
+            None => vm.set_hook(Some(injector)),
+            Some(factory) => {
+                let inner = factory(vm.registry());
+                let chain = HookChain::new(vec![injector, inner]);
+                vm.set_hook(Some(Rc::new(RefCell::new(chain))));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{FnProgram, Profile, RegistryBuilder, Value};
+
+    fn two_level_program() -> FnProgram {
+        FnProgram::new(
+            "two-level",
+            || {
+                let mut rb = RegistryBuilder::new(Profile::java());
+                rb.class("T", |c| {
+                    c.field("a", Value::Int(0));
+                    c.method("outer", |ctx, this, _| {
+                        let a = ctx.get_int(this, "a");
+                        ctx.set(this, "a", Value::Int(a + 1));
+                        ctx.call(this, "inner", &[])?;
+                        ctx.set(this, "a", Value::Int(a));
+                        Ok(Value::Null)
+                    });
+                    c.method("inner", |_, _, _| Ok(Value::Null));
+                });
+                rb.build()
+            },
+            |vm| {
+                let t = vm.construct("T", &[])?;
+                vm.root(t);
+                vm.call(t, "outer", &[])
+            },
+        )
+    }
+
+    #[test]
+    fn campaign_runs_once_per_point() {
+        let p = two_level_program();
+        let result = Campaign::new(&p).run();
+        // outer: 2 runtime exceptions, inner: 2 => 4 points.
+        assert_eq!(result.total_points, 4);
+        assert_eq!(result.injections(), 4);
+        for (i, run) in result.runs.iter().enumerate() {
+            assert_eq!(run.injection_point, i as u64 + 1);
+            assert!(run.injected.is_some());
+            assert!(run.top_error.is_some(), "injected exception escapes");
+        }
+    }
+
+    #[test]
+    fn baseline_calls_are_recorded() {
+        let p = two_level_program();
+        let result = Campaign::new(&p).run();
+        let used: Vec<String> = result
+            .used_methods()
+            .map(|m| result.registry.method_display(m))
+            .collect();
+        assert_eq!(used, vec!["T::outer", "T::inner"]);
+        assert_eq!(result.baseline_calls.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn marks_identify_nonatomic_propagation() {
+        let p = two_level_program();
+        let result = Campaign::new(&p).run();
+        // Injections into inner (points 3 and 4) mark outer non-atomic
+        // (a was incremented, restore line never reached).
+        let nonatomic_runs: Vec<&RunResult> = result
+            .runs
+            .iter()
+            .filter(|r| r.marks.iter().any(|m| !m.atomic))
+            .collect();
+        assert_eq!(nonatomic_runs.len(), 2);
+        for run in nonatomic_runs {
+            let m = run.marks.iter().find(|m| !m.atomic).unwrap();
+            assert_eq!(result.registry.method_display(m.method), "T::outer");
+        }
+    }
+
+    #[test]
+    fn max_points_caps_the_sweep() {
+        let p = two_level_program();
+        let result = Campaign::new(&p).max_points(2).run();
+        assert_eq!(result.total_points, 4);
+        assert_eq!(result.injections(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Listing 1 — the injection wrapper — as a [`CallHook`].
+
+use crate::marks::Mark;
+use atomask_mor::{
+    CallHook, CallSite, Exception, ExcId, HookGuard, MethodId, MethodResult, ObjId, Vm,
+};
+use atomask_objgraph::Snapshot;
+
+/// The per-run state of the exception injector program.
+///
+/// Reproduces Listing 1 of the paper:
+///
+/// * a global counter `Point`, incremented once per throwable exception
+///   type at every wrapped call;
+/// * a preset threshold `InjectionPoint`; when the counter reaches it the
+///   wrapper throws the corresponding exception instead of calling the
+///   method;
+/// * a pre-call deep copy (here: canonical [`Snapshot`]) of the receiver's
+///   object graph plus all by-reference arguments;
+/// * on exception propagation, an after-copy, a comparison, and a
+///   `mark(m, atomic|nonatomic, InjectionPoint)` record before rethrowing.
+///
+/// One hook instance corresponds to one run of the injector program; the
+/// campaign creates a fresh hook (and VM) per injection point.
+#[derive(Debug)]
+pub struct InjectionHook {
+    point: u64,
+    injection_point: Option<u64>,
+    observe: bool,
+    injected: Option<(MethodId, ExcId)>,
+    marks: Vec<Mark>,
+}
+
+impl InjectionHook {
+    /// A counting-only hook: never injects, never snapshots. Used for the
+    /// initial run that sizes the campaign (`InjectionPoint` sweeps
+    /// `1..=points()`) and doubles as the *original program* run whose call
+    /// statistics weight Figs. 2b/3b.
+    pub fn counting() -> Self {
+        InjectionHook {
+            point: 0,
+            injection_point: None,
+            observe: false,
+            injected: None,
+            marks: Vec::new(),
+        }
+    }
+
+    /// A full injector-run hook that throws at the `injection_point`-th
+    /// potential point (1-based) and performs atomicity checks.
+    pub fn with_injection_point(injection_point: u64) -> Self {
+        InjectionHook {
+            point: 0,
+            injection_point: Some(injection_point),
+            observe: true,
+            injected: None,
+            marks: Vec::new(),
+        }
+    }
+
+    /// An observation-only hook: snapshots and marks, but never injects.
+    /// Used when validating a corrected program against the exceptions the
+    /// application itself throws.
+    pub fn observing() -> Self {
+        InjectionHook {
+            point: 0,
+            injection_point: None,
+            observe: true,
+            injected: None,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Total potential injection points seen so far (the final value after
+    /// a counting run is the campaign size `N`).
+    pub fn points(&self) -> u64 {
+        self.point
+    }
+
+    /// What was injected in this run, if the threshold was reached.
+    pub fn injected(&self) -> Option<(MethodId, ExcId)> {
+        self.injected
+    }
+
+    /// The marks recorded this run, in wrapper-execution order
+    /// (callee→caller along the propagation path).
+    pub fn marks(&self) -> &[Mark] {
+        &self.marks
+    }
+
+    /// Consumes the hook, returning its marks.
+    pub fn into_marks(self) -> Vec<Mark> {
+        self.marks
+    }
+}
+
+fn snapshot_roots(site: &CallSite) -> Vec<ObjId> {
+    let mut roots = Vec::with_capacity(1 + site.ref_args.len());
+    roots.push(site.recv);
+    roots.extend_from_slice(&site.ref_args);
+    roots
+}
+
+impl CallHook for InjectionHook {
+    fn before(&mut self, vm: &mut Vm, site: &CallSite) -> Result<HookGuard, Exception> {
+        let registry = vm.registry().clone();
+        if !registry.instrumentable(site.method) {
+            // No wrapper woven (Java core class): invisible to detection.
+            return Ok(None);
+        }
+        // Listing 1 lines 2-5: one potential injection point per exception
+        // type of the wrapped method.
+        for exc in registry.injectable_exceptions(site.method) {
+            self.point += 1;
+            if Some(self.point) == self.injection_point {
+                self.injected = Some((site.method, exc));
+                return Err(Exception::injected(exc, site.method));
+            }
+        }
+        if !self.observe {
+            return Ok(None);
+        }
+        // Listing 1 line 6: objgraph_before = deep_copy(this) — including
+        // by-reference arguments.
+        let before = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
+        Ok(Some(Box::new(before)))
+    }
+
+    fn after(
+        &mut self,
+        vm: &mut Vm,
+        site: &CallSite,
+        guard: HookGuard,
+        outcome: MethodResult,
+    ) -> MethodResult {
+        if let Err(exc) = &outcome {
+            if let Some(guard) = guard {
+                let before = guard
+                    .downcast::<Snapshot>()
+                    .expect("injection guard is a snapshot");
+                let after = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
+                // Listing 1 lines 10-14: compare and mark, then rethrow.
+                self.marks.push(match before.first_difference(&after) {
+                    None => Mark::atomic(site.method, exc.chain),
+                    Some(diff) => Mark::nonatomic(site.method, exc.chain, diff),
+                });
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomask_mor::{Profile, Registry, RegistryBuilder, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// `outer` increments `a`, calls `inner`, then increments `b`.
+    /// `inner` is a no-op. Injecting into `inner` makes `outer` non-atomic.
+    fn registry() -> Registry {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("T", |c| {
+            c.field("a", Value::Int(0));
+            c.field("b", Value::Int(0));
+            c.method("outer", |ctx, this, _| {
+                let a = ctx.get_int(this, "a");
+                ctx.set(this, "a", Value::Int(a + 1));
+                ctx.call(this, "inner", &[])?;
+                let b = ctx.get_int(this, "b");
+                ctx.set(this, "b", Value::Int(b + 1));
+                Ok(Value::Null)
+            });
+            c.method("inner", |_, _, _| Ok(Value::Null));
+        });
+        rb.build()
+    }
+
+    fn run_with_point(ip: u64) -> (Vm, Rc<RefCell<InjectionHook>>, MethodResult) {
+        let mut vm = Vm::new(registry());
+        let hook = Rc::new(RefCell::new(InjectionHook::with_injection_point(ip)));
+        vm.set_hook(Some(hook.clone()));
+        let t = vm.construct("T", &[]).unwrap();
+        vm.root(t);
+        let r = vm.call(t, "outer", &[]);
+        (vm, hook, r)
+    }
+
+    #[test]
+    fn counting_run_counts_points() {
+        let mut vm = Vm::new(registry());
+        let hook = Rc::new(RefCell::new(InjectionHook::counting()));
+        vm.set_hook(Some(hook.clone()));
+        let t = vm.construct("T", &[]).unwrap();
+        vm.root(t);
+        vm.call(t, "outer", &[]).unwrap();
+        // outer (2 runtime exceptions) + inner (2): 4 potential points.
+        assert_eq!(hook.borrow().points(), 4);
+        assert!(hook.borrow().injected().is_none());
+        assert!(hook.borrow().marks().is_empty());
+    }
+
+    #[test]
+    fn injection_into_outer_aborts_before_any_mutation() {
+        // Points 1-2 belong to outer's own wrapper: thrown before the body
+        // runs, so nothing is marked (the driver catches at top level).
+        let (vm, hook, r) = run_with_point(1);
+        let err = r.unwrap_err();
+        assert!(err.injected);
+        assert!(hook.borrow().marks().is_empty());
+        let t = vm.heap().iter().next().unwrap().0;
+        assert_eq!(vm.heap().field(t, "a"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn injection_into_inner_marks_outer_nonatomic() {
+        // Points 3-4 are inner's: outer already incremented `a`, so the
+        // exception propagating through outer's wrapper finds the graph
+        // changed.
+        let (_, hook, r) = run_with_point(3);
+        assert!(r.unwrap_err().injected);
+        let hook = hook.borrow();
+        assert_eq!(hook.marks().len(), 1);
+        let mark = &hook.marks()[0];
+        assert!(!mark.atomic);
+        assert!(mark.diff.is_some());
+    }
+
+    #[test]
+    fn injected_record_names_target_and_exception() {
+        let (vm, hook, _) = run_with_point(4);
+        let (target, exc) = hook.borrow().injected().unwrap();
+        assert_eq!(vm.registry().method_display(target), "T::inner");
+        assert_eq!(
+            vm.registry().exceptions().name(exc),
+            "OutOfMemoryError",
+            "second runtime exception of inner"
+        );
+    }
+
+    #[test]
+    fn threshold_beyond_points_injects_nothing() {
+        let (_, hook, r) = run_with_point(99);
+        assert!(r.is_ok());
+        assert!(hook.borrow().injected().is_none());
+    }
+
+    #[test]
+    fn application_thrown_exceptions_are_also_checked() {
+        // A method that throws on its own (no injection) still gets
+        // atomicity-checked by every wrapper the exception propagates
+        // through.
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.exception("AppError");
+        rb.class("T", |c| {
+            c.field("a", Value::Int(0));
+            c.method("outer", |ctx, this, _| {
+                let a = ctx.get_int(this, "a");
+                ctx.set(this, "a", Value::Int(a + 1));
+                ctx.call(this, "thrower", &[])
+            });
+            c.method("thrower", |ctx, _, _| {
+                Err(ctx.exception("AppError", "app-level"))
+            });
+        });
+        let mut vm = Vm::new(rb.build());
+        let hook = Rc::new(RefCell::new(InjectionHook::observing()));
+        vm.set_hook(Some(hook.clone()));
+        let t = vm.construct("T", &[]).unwrap();
+        vm.root(t);
+        let err = vm.call(t, "outer", &[]).unwrap_err();
+        assert!(!err.injected);
+        let hook = hook.borrow();
+        // thrower marked atomic (it changed nothing), outer non-atomic.
+        assert_eq!(hook.marks().len(), 2);
+        assert!(hook.marks()[0].atomic);
+        assert!(!hook.marks()[1].atomic);
+    }
+}

@@ -1,0 +1,61 @@
+//! Atomicity marks recorded by injection wrappers.
+
+use atomask_mor::MethodId;
+
+/// One `mark(m, atomic|nonatomic, InjectionPoint)` record from Listing 1:
+/// an exception propagated through the wrapper of `method`, and the
+/// before/after object graphs were (or were not) identical.
+///
+/// Marks are stored in wrapper-execution order within a run; because
+/// exceptions propagate callee→caller, the *first* non-atomic mark of a run
+/// identifies a pure failure non-atomic method (Def. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mark {
+    /// The wrapped method the exception propagated through.
+    pub method: MethodId,
+    /// Propagation chain the triggering exception belongs to (see
+    /// [`atomask_mor::Exception::chain`]).
+    pub chain: u64,
+    /// `true` iff the object graph was unchanged (atomic for this
+    /// injection).
+    pub atomic: bool,
+    /// First graph difference, for the programmer's report (non-atomic
+    /// marks only).
+    pub diff: Option<String>,
+}
+
+impl Mark {
+    /// Creates an atomic mark.
+    pub fn atomic(method: MethodId, chain: u64) -> Self {
+        Mark {
+            method,
+            chain,
+            atomic: true,
+            diff: None,
+        }
+    }
+
+    /// Creates a non-atomic mark with a difference description.
+    pub fn nonatomic(method: MethodId, chain: u64, diff: String) -> Self {
+        Mark {
+            method,
+            chain,
+            atomic: false,
+            diff: Some(diff),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let m = MethodId::from_raw(4);
+        assert!(Mark::atomic(m, 1).atomic);
+        let n = Mark::nonatomic(m, 1, "field x changed".into());
+        assert!(!n.atomic);
+        assert_eq!(n.diff.as_deref(), Some("field x changed"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests of the campaign machinery: injection-point arithmetic,
+//! determinism, and exactly-once injection.
+
+use atomask_inject::{classify, Campaign, MarkFilter};
+use atomask_mor::{FnProgram, Profile, RegistryBuilder, Value};
+use proptest::prelude::*;
+
+/// A program with a configurable call tree: `fanout` children per call,
+/// `depth` levels, each method declaring `extra_exc` exceptions.
+fn tree_program(depth: u8, fanout: u8, extra_exc: u8) -> FnProgram {
+    FnProgram::new(
+        "tree",
+        move || {
+            let mut rb = RegistryBuilder::new(Profile::java());
+            rb.class("T", |c| {
+                c.field("work", Value::Int(0));
+                let mut cfg = c.method("spin", move |ctx, this, args| {
+                    let level = args[0].as_int().unwrap_or(0);
+                    if level > 0 {
+                        for _ in 0..fanout {
+                            ctx.call(this, "spin", &[Value::Int(level - 1)])?;
+                        }
+                    }
+                    let w = ctx.get_int(this, "work");
+                    ctx.set(this, "work", Value::Int(w + 1));
+                    Ok(Value::Null)
+                });
+                for e in 0..extra_exc {
+                    cfg.throws(&format!("E{e}"));
+                }
+            });
+            rb.build()
+        },
+        move |vm| {
+            let t = vm.construct("T", &[])?;
+            vm.root(t);
+            vm.call(t, "spin", &[Value::Int(depth as i64)])
+        },
+    )
+}
+
+/// Dynamic call count of the full tree.
+fn calls(depth: u8, fanout: u8) -> u64 {
+    // 1 + f + f^2 + ... + f^depth
+    let f = fanout as u64;
+    if f <= 1 {
+        depth as u64 + 1
+    } else {
+        (f.pow(depth as u32 + 1) - 1) / (f - 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Total potential injection points = dynamic calls × exception types
+    /// per method (Listing 1's counter arithmetic).
+    #[test]
+    fn point_arithmetic(depth in 0u8..4, fanout in 1u8..3, extra in 0u8..3) {
+        let p = tree_program(depth, fanout, extra);
+        let result = Campaign::new(&p).max_points(1).run();
+        // spin: `extra` declared + 2 runtime exceptions.
+        let per_call = extra as u64 + 2;
+        prop_assert_eq!(result.total_points, calls(depth, fanout) * per_call);
+        prop_assert_eq!(
+            result.baseline_calls.iter().sum::<u64>(),
+            calls(depth, fanout)
+        );
+    }
+
+    /// Campaigns are deterministic: two full runs produce identical marks
+    /// and classifications.
+    #[test]
+    fn campaigns_are_deterministic(depth in 0u8..3, fanout in 1u8..3) {
+        let p = tree_program(depth, fanout, 1);
+        let a = Campaign::new(&p).run();
+        let b = Campaign::new(&p).run();
+        prop_assert_eq!(a.total_points, b.total_points);
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            prop_assert_eq!(ra.injected, rb.injected);
+            prop_assert_eq!(ra.marks.len(), rb.marks.len());
+            for (ma, mb) in ra.marks.iter().zip(&rb.marks) {
+                prop_assert_eq!(ma.method, mb.method);
+                prop_assert_eq!(ma.atomic, mb.atomic);
+            }
+        }
+        let ca = classify(&a, &MarkFilter::default());
+        let cb = classify(&b, &MarkFilter::default());
+        prop_assert_eq!(ca.method_counts, cb.method_counts);
+    }
+
+    /// Every run with `InjectionPoint <= N` injects exactly once, and the
+    /// injected exception escapes to the top unless the program catches it
+    /// (this program never catches).
+    #[test]
+    fn every_run_injects_exactly_once(depth in 0u8..3, fanout in 1u8..3) {
+        let p = tree_program(depth, fanout, 0);
+        let result = Campaign::new(&p).run();
+        prop_assert_eq!(result.runs.len() as u64, result.total_points);
+        for run in &result.runs {
+            prop_assert!(run.injected.is_some(), "run {} did not inject", run.injection_point);
+            prop_assert!(
+                run.top_error.as_deref().unwrap_or("").contains("injected"),
+                "run {}: {:?}",
+                run.injection_point,
+                run.top_error
+            );
+        }
+    }
+
+    /// Methods are never classified both ways: the verdict partition is a
+    /// function of the marks.
+    #[test]
+    fn verdicts_partition_used_methods(depth in 1u8..3, fanout in 1u8..3) {
+        let p = tree_program(depth, fanout, 1);
+        let result = Campaign::new(&p).run();
+        let c = classify(&result, &MarkFilter::default());
+        let used = result.used_methods().count() as u64;
+        prop_assert_eq!(c.method_counts.total(), used);
+    }
+}

@@ -1,0 +1,302 @@
+//! Class definitions: field schemas and method tables.
+
+use crate::ctx::Ctx;
+use crate::exception::MethodResult;
+use crate::ids::{ClassId, ExcId, MethodId, ObjId};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The Rust function implementing a guest method body.
+///
+/// Bodies perform **all** state access through the [`Ctx`] handle so the
+/// runtime observes every field read/write and every nested call — the
+/// property the paper gets from running on an instrumentable language
+/// runtime.
+pub type MethodBody = Rc<dyn Fn(&mut Ctx<'_>, ObjId, &[Value]) -> MethodResult>;
+
+/// Name under which constructors are registered in the method table.
+pub const CTOR_NAME: &str = "<init>";
+
+
+/// A field of a class: a name and the default value fresh instances start
+/// with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDef {
+    /// Field name (unique within the class).
+    pub name: String,
+    /// Value a freshly allocated instance starts with.
+    pub default: Value,
+}
+
+/// A method (or constructor) of a class.
+#[derive(Clone)]
+pub struct MethodDef {
+    /// Method name (unique within the class).
+    pub name: String,
+    /// The implementation.
+    pub body: MethodBody,
+    /// Exception types declared in the signature (`throws` clause),
+    /// resolved at registry build time.
+    pub declared: Vec<ExcId>,
+    /// Declared-exception names as written; resolved into [`Self::declared`]
+    /// when the registry is built.
+    pub(crate) declared_names: Vec<String>,
+    /// Programmer annotation (paper §4.3): this method never throws, so no
+    /// exceptions should be injected into it.
+    pub never_throws: bool,
+    /// `true` for constructors.
+    pub is_ctor: bool,
+    /// Globally unique id, assigned at registry build time.
+    pub gid: MethodId,
+}
+
+impl fmt::Debug for MethodDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MethodDef")
+            .field("name", &self.name)
+            .field("declared", &self.declared)
+            .field("never_throws", &self.never_throws)
+            .field("is_ctor", &self.is_ctor)
+            .field("gid", &self.gid)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A class: field schema plus method table.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name (unique within the registry).
+    pub name: String,
+    /// Ordered field schema. Field order is part of the class identity and
+    /// drives deterministic object-graph traversal.
+    pub fields: Vec<FieldDef>,
+    /// Methods, including at most one constructor named [`CTOR_NAME`].
+    pub methods: Vec<MethodDef>,
+    /// `true` for core classes that the Java profile cannot instrument.
+    pub is_core: bool,
+    /// Id assigned at registry build time.
+    pub id: ClassId,
+    pub(crate) field_index: HashMap<String, usize>,
+    pub(crate) method_index: HashMap<String, usize>,
+}
+
+impl ClassDef {
+    /// Index of a field by name.
+    pub fn field_slot(&self, name: &str) -> Option<usize> {
+        self.field_index.get(name).copied()
+    }
+
+    /// Index of a method by name.
+    pub fn method_slot(&self, name: &str) -> Option<usize> {
+        self.method_index.get(name).copied()
+    }
+
+    /// The constructor, if one was defined.
+    pub fn ctor(&self) -> Option<&MethodDef> {
+        self.method_slot(CTOR_NAME).map(|s| &self.methods[s])
+    }
+
+    /// Default field values for a fresh instance, in schema order.
+    pub fn default_fields(&self) -> Vec<Value> {
+        self.fields.iter().map(|f| f.default.clone()).collect()
+    }
+}
+
+/// Chainable configuration handle for a method being defined.
+///
+/// Returned by [`ClassBuilder::method`] and [`ClassBuilder::ctor`]:
+///
+/// ```
+/// use atomask_mor::{Profile, RegistryBuilder, Value};
+/// let mut rb = RegistryBuilder::new(Profile::java());
+/// rb.class("File", |c| {
+///     c.method("write", |_ctx, _this, _args| Ok(Value::Null))
+///         .throws("IOException");
+///     c.method("size", |_ctx, _this, _args| Ok(Value::Int(0)))
+///         .never_throws();
+/// });
+/// let reg = rb.build();
+/// assert!(reg.exceptions().lookup("IOException").is_some());
+/// ```
+#[derive(Debug)]
+pub struct MethodCfg<'a> {
+    pub(crate) def: &'a mut MethodDef,
+}
+
+impl MethodCfg<'_> {
+    /// Adds a declared exception type (the `throws` clause). Unknown names
+    /// are interned when the registry is built.
+    pub fn throws(&mut self, exception: &str) -> &mut Self {
+        self.def.declared_names.push(exception.to_owned());
+        self
+    }
+
+    /// Marks the method as never throwing (paper §4.3): the injector will
+    /// not place injection points in it, and the policy layer may discount
+    /// past injections attributed to it.
+    pub fn never_throws(&mut self) -> &mut Self {
+        self.def.never_throws = true;
+        self
+    }
+}
+
+/// Builder for one class, used inside [`crate::RegistryBuilder::class`].
+#[derive(Debug)]
+pub struct ClassBuilder {
+    pub(crate) def: ClassDef,
+}
+
+impl ClassBuilder {
+    pub(crate) fn new(name: &str) -> Self {
+        ClassBuilder {
+            def: ClassDef {
+                name: name.to_owned(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+                is_core: false,
+                id: ClassId(u32::MAX),
+                field_index: HashMap::new(),
+                method_index: HashMap::new(),
+            },
+        }
+    }
+
+    /// Declares a field with its default value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field with the same name was already declared.
+    pub fn field(&mut self, name: &str, default: Value) -> &mut Self {
+        assert!(
+            !self.def.field_index.contains_key(name),
+            "class `{}`: duplicate field `{name}`",
+            self.def.name
+        );
+        self.def
+            .field_index
+            .insert(name.to_owned(), self.def.fields.len());
+        self.def.fields.push(FieldDef {
+            name: name.to_owned(),
+            default,
+        });
+        self
+    }
+
+    /// Declares a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method with the same name was already declared.
+    pub fn method(
+        &mut self,
+        name: &str,
+        body: impl Fn(&mut Ctx<'_>, ObjId, &[Value]) -> MethodResult + 'static,
+    ) -> MethodCfg<'_> {
+        self.push_method(name, Rc::new(body), false)
+    }
+
+    /// Declares the constructor (at most one per class). Constructor calls
+    /// are dispatched through the same interposable boundary as methods, so
+    /// exceptions are injected into constructors too (the paper's Table 1
+    /// counts "method and constructor calls").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constructor was already declared.
+    pub fn ctor(
+        &mut self,
+        body: impl Fn(&mut Ctx<'_>, ObjId, &[Value]) -> MethodResult + 'static,
+    ) -> MethodCfg<'_> {
+        self.push_method(CTOR_NAME, Rc::new(body), true)
+    }
+
+    /// Marks the class as *core* (Java profile: not instrumentable, like
+    /// `java.lang.String` in the paper's §5.2 limitation).
+    pub fn core(&mut self) -> &mut Self {
+        self.def.is_core = true;
+        self
+    }
+
+    fn push_method(&mut self, name: &str, body: MethodBody, is_ctor: bool) -> MethodCfg<'_> {
+        assert!(
+            !self.def.method_index.contains_key(name),
+            "class `{}`: duplicate method `{name}`",
+            self.def.name
+        );
+        self.def
+            .method_index
+            .insert(name.to_owned(), self.def.methods.len());
+        self.def.methods.push(MethodDef {
+            name: name.to_owned(),
+            body,
+            declared: Vec::new(),
+            declared_names: Vec::new(),
+            never_throws: false,
+            is_ctor,
+            gid: MethodId(u32::MAX),
+        });
+        let slot = self.def.methods.len() - 1;
+        MethodCfg {
+            def: &mut self.def.methods[slot],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(_: &mut Ctx<'_>, _: ObjId, _: &[Value]) -> MethodResult {
+        Ok(Value::Null)
+    }
+
+    #[test]
+    fn builder_registers_fields_and_methods() {
+        let mut b = ClassBuilder::new("A");
+        b.field("x", Value::Int(0)).field("y", Value::Null);
+        b.method("m", noop).throws("E1").throws("E2");
+        b.ctor(noop);
+        let def = b.def;
+        assert_eq!(def.field_slot("x"), Some(0));
+        assert_eq!(def.field_slot("y"), Some(1));
+        assert_eq!(def.field_slot("z"), None);
+        assert!(def.method_slot("m").is_some());
+        assert!(def.ctor().is_some());
+        let m = &def.methods[def.method_slot("m").unwrap()];
+        assert_eq!(m.declared_names, vec!["E1", "E2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_field_panics() {
+        let mut b = ClassBuilder::new("A");
+        b.field("x", Value::Null).field("x", Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate method")]
+    fn duplicate_method_panics() {
+        let mut b = ClassBuilder::new("A");
+        b.method("m", noop);
+        b.method("m", noop);
+    }
+
+    #[test]
+    fn default_fields_follow_schema_order() {
+        let mut b = ClassBuilder::new("A");
+        b.field("x", Value::Int(7)).field("y", Value::Bool(true));
+        assert_eq!(
+            b.def.default_fields(),
+            vec![Value::Int(7), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn never_throws_flag() {
+        let mut b = ClassBuilder::new("A");
+        b.method("m", noop).never_throws();
+        assert!(b.def.methods[0].never_throws);
+    }
+}

@@ -1,0 +1,86 @@
+//! Host-level errors: misuse of the runtime API by the embedding program.
+//!
+//! These are distinct from guest-level [`crate::Exception`]s, which model the
+//! application's own exceptions and propagate through the interposable call
+//! dispatcher. A `MorError` means the *Rust* code driving the VM did
+//! something wrong (unknown class name, dangling object id, bad field name).
+
+use crate::ids::ObjId;
+use std::error::Error;
+use std::fmt;
+
+/// An error caused by misuse of the runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MorError {
+    /// No class with this name is registered.
+    UnknownClass(String),
+    /// The class exists but has no such method.
+    UnknownMethod {
+        /// Class name.
+        class: String,
+        /// Requested method name.
+        method: String,
+    },
+    /// The class exists but has no such field.
+    UnknownField {
+        /// Class name.
+        class: String,
+        /// Requested field name.
+        field: String,
+    },
+    /// The object id does not denote a live object.
+    DeadObject(ObjId),
+    /// No exception type with this name is registered.
+    UnknownException(String),
+}
+
+impl fmt::Display for MorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorError::UnknownClass(name) => write!(f, "unknown class `{name}`"),
+            MorError::UnknownMethod { class, method } => {
+                write!(f, "class `{class}` has no method `{method}`")
+            }
+            MorError::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            MorError::DeadObject(id) => write!(f, "object {id} is not live"),
+            MorError::UnknownException(name) => {
+                write!(f, "unknown exception type `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for MorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(
+            MorError::UnknownClass("Foo".into()).to_string(),
+            "unknown class `Foo`"
+        );
+        assert_eq!(
+            MorError::UnknownMethod {
+                class: "A".into(),
+                method: "m".into()
+            }
+            .to_string(),
+            "class `A` has no method `m`"
+        );
+        assert_eq!(
+            MorError::DeadObject(ObjId::from_raw(3)).to_string(),
+            "object #3 is not live"
+        );
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MorError>();
+    }
+}

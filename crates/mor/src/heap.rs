@@ -1,0 +1,677 @@
+//! The managed heap: objects, reference counts, roots, reclamation.
+//!
+//! Object ids are never reused, so checkpoints can restore reclaimed objects
+//! at their original identity (needed by the masking phase's rollback).
+//!
+//! Reclamation is **deferred**: field writes adjust reference counts but
+//! never free; garbage is only released by the explicit [`Heap::reclaim`]
+//! (reference-count cascade, acyclic structures) and [`Heap::collect`]
+//! (mark–sweep from roots, cyclic structures). This mirrors the paper's
+//! §5.1: rolled-back objects are cleaned up with automatic reference
+//! counting, and cyclic structures need an off-the-shelf garbage collector.
+
+use crate::class::ClassDef;
+use crate::error::MorError;
+use crate::ids::{ClassId, ObjId};
+use crate::registry::Registry;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// A heap object: its class and its field values in schema order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    class: ClassId,
+    fields: Vec<Value>,
+}
+
+impl Object {
+    /// Creates an object from parts (used by checkpoint restore).
+    pub fn from_parts(class: ClassId, fields: Vec<Value>) -> Self {
+        Object { class, fields }
+    }
+
+    /// The object's class.
+    pub fn class_id(&self) -> ClassId {
+        self.class
+    }
+
+    /// Field values in schema order.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+}
+
+/// Counters describing heap activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects ever allocated.
+    pub allocated: u64,
+    /// Objects released by [`Heap::reclaim`] (reference counting).
+    pub reclaimed: u64,
+    /// Objects released by [`Heap::collect`] (mark–sweep).
+    pub collected: u64,
+}
+
+/// One layer of the write journal: the undo information for a region of
+/// execution (see [`Heap::push_journal`]).
+#[derive(Debug, Default)]
+struct Journal {
+    /// `(object, field slot, previous value)` in write order.
+    writes: Vec<(ObjId, usize, Value)>,
+    /// Objects allocated while this journal was active.
+    allocs: Vec<ObjId>,
+}
+
+/// The managed heap.
+#[derive(Debug)]
+pub struct Heap {
+    registry: Rc<Registry>,
+    objects: BTreeMap<ObjId, Object>,
+    refcounts: HashMap<ObjId, usize>,
+    roots: HashMap<ObjId, usize>,
+    next_id: u64,
+    stats: HeapStats,
+    journals: Vec<Journal>,
+}
+
+impl Heap {
+    /// Creates an empty heap over the given registry.
+    pub fn new(registry: Rc<Registry>) -> Self {
+        Heap {
+            registry,
+            objects: BTreeMap::new(),
+            refcounts: HashMap::new(),
+            roots: HashMap::new(),
+            next_id: 1,
+            stats: HeapStats::default(),
+            journals: Vec::new(),
+        }
+    }
+
+    /// The registry this heap resolves classes against.
+    pub fn registry(&self) -> &Rc<Registry> {
+        &self.registry
+    }
+
+    /// Allocates a fresh instance of `class` with default field values.
+    ///
+    /// The new object starts with reference count zero and no roots; callers
+    /// (normally the VM) must root it before anything can trigger
+    /// reclamation.
+    pub fn alloc(&mut self, class: &ClassDef) -> ObjId {
+        let id = ObjId::from_raw(self.next_id);
+        self.next_id += 1;
+        let fields = class.default_fields();
+        for v in &fields {
+            if let Some(target) = v.as_ref_id() {
+                self.inc_ref(target);
+            }
+        }
+        self.objects.insert(
+            id,
+            Object {
+                class: class.id,
+                fields,
+            },
+        );
+        self.stats.allocated += 1;
+        if let Some(journal) = self.journals.last_mut() {
+            journal.allocs.push(id);
+        }
+        id
+    }
+
+    /// Returns the object stored at `id`, if live.
+    pub fn get(&self, id: ObjId) -> Option<&Object> {
+        self.objects.get(&id)
+    }
+
+    /// Returns `true` iff `id` denotes a live object.
+    pub fn is_live(&self, id: ObjId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` iff no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over all live objects in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Object)> {
+        self.objects.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// Heap activity counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Reads a field by name.
+    ///
+    /// Returns `None` when the object is dead or the field does not exist.
+    pub fn field(&self, id: ObjId, name: &str) -> Option<Value> {
+        let obj = self.objects.get(&id)?;
+        let class = self.registry.class(obj.class);
+        let slot = class.field_slot(name)?;
+        Some(obj.fields[slot].clone())
+    }
+
+    /// Reads a field by slot index.
+    pub fn field_by_slot(&self, id: ObjId, slot: usize) -> Option<Value> {
+        self.objects.get(&id)?.fields.get(slot).cloned()
+    }
+
+    /// Writes a field by name, maintaining reference counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::DeadObject`] or [`MorError::UnknownField`].
+    pub fn set_field(&mut self, id: ObjId, name: &str, value: Value) -> Result<(), MorError> {
+        let class_id = self
+            .objects
+            .get(&id)
+            .ok_or(MorError::DeadObject(id))?
+            .class;
+        let class = self.registry.class(class_id);
+        let slot = class
+            .field_slot(name)
+            .ok_or_else(|| MorError::UnknownField {
+                class: class.name.clone(),
+                field: name.to_owned(),
+            })?;
+        if let Some(target) = value.as_ref_id() {
+            self.inc_ref(target);
+        }
+        let obj = self.objects.get_mut(&id).expect("checked live above");
+        let old = std::mem::replace(&mut obj.fields[slot], value);
+        if let Some(journal) = self.journals.last_mut() {
+            journal.writes.push((id, slot, old.clone()));
+        }
+        if let Some(target) = old.as_ref_id() {
+            self.dec_ref(target);
+        }
+        Ok(())
+    }
+
+    /// Adds a root reference to `id` (idempotent counting: every `root` must
+    /// be paired with an [`Heap::unroot`]).
+    pub fn root(&mut self, id: ObjId) {
+        *self.roots.entry(id).or_insert(0) += 1;
+    }
+
+    /// Removes one root reference from `id`.
+    pub fn unroot(&mut self, id: ObjId) {
+        if let Some(n) = self.roots.get_mut(&id) {
+            *n -= 1;
+            if *n == 0 {
+                self.roots.remove(&id);
+            }
+        }
+    }
+
+    /// Number of root references on `id`.
+    pub fn root_count(&self, id: ObjId) -> usize {
+        self.roots.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Current reference count of `id` (heap references only, roots not
+    /// included).
+    pub fn refcount(&self, id: ObjId) -> usize {
+        self.refcounts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Releases every unrooted object whose reference count is zero,
+    /// cascading through acyclic structures. Returns the number of objects
+    /// released.
+    ///
+    /// This is the paper's reference-counting rollback cleanup (§5.1
+    /// limitation 4); cyclic garbage survives and needs [`Heap::collect`].
+    pub fn reclaim(&mut self) -> usize {
+        let mut worklist: Vec<ObjId> = self
+            .objects
+            .keys()
+            .filter(|id| self.refcount(**id) == 0 && self.root_count(**id) == 0)
+            .copied()
+            .collect();
+        let mut freed = 0;
+        while let Some(id) = worklist.pop() {
+            let Some(obj) = self.objects.remove(&id) else {
+                continue;
+            };
+            freed += 1;
+            self.refcounts.remove(&id);
+            for v in obj.fields {
+                if let Some(target) = v.as_ref_id() {
+                    self.dec_ref(target);
+                    if self.is_live(target)
+                        && self.refcount(target) == 0
+                        && self.root_count(target) == 0
+                    {
+                        worklist.push(target);
+                    }
+                }
+            }
+        }
+        self.stats.reclaimed += freed as u64;
+        freed as usize
+    }
+
+    /// Mark–sweep collection from the root set. Releases cyclic garbage that
+    /// [`Heap::reclaim`] cannot. Returns the number of objects released.
+    ///
+    /// Only call at points where no unrooted object ids are held by the
+    /// embedding program (the VM guarantees this between top-level calls).
+    pub fn collect(&mut self) -> usize {
+        let mut marked: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
+        let mut stack: Vec<ObjId> = self.roots.keys().copied().collect();
+        while let Some(id) = stack.pop() {
+            if !marked.insert(id) {
+                continue;
+            }
+            if let Some(obj) = self.objects.get(&id) {
+                for v in &obj.fields {
+                    if let Some(target) = v.as_ref_id() {
+                        if !marked.contains(&target) {
+                            stack.push(target);
+                        }
+                    }
+                }
+            }
+        }
+        let dead: Vec<ObjId> = self
+            .objects
+            .keys()
+            .filter(|id| !marked.contains(id))
+            .copied()
+            .collect();
+        let freed = dead.len();
+        for id in dead {
+            self.objects.remove(&id);
+            self.refcounts.remove(&id);
+        }
+        if freed > 0 {
+            self.recompute_refcounts();
+        }
+        self.stats.collected += freed as u64;
+        freed
+    }
+
+    /// Overwrites the full field vector of a live object **without**
+    /// reference-count maintenance. Restore-only API: callers must follow up
+    /// with [`Heap::recompute_refcounts`].
+    pub fn restore_fields(&mut self, id: ObjId, fields: Vec<Value>) -> Result<(), MorError> {
+        let obj = self.objects.get_mut(&id).ok_or(MorError::DeadObject(id))?;
+        assert_eq!(
+            obj.fields.len(),
+            fields.len(),
+            "restore_fields: schema size mismatch for {id}"
+        );
+        obj.fields = fields;
+        Ok(())
+    }
+
+    /// Re-inserts a previously reclaimed object at its original id.
+    /// Restore-only API: callers must follow up with
+    /// [`Heap::recompute_refcounts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is still live or was never allocated.
+    pub fn resurrect(&mut self, id: ObjId, object: Object) {
+        assert!(!self.objects.contains_key(&id), "resurrect: {id} is live");
+        assert!(
+            id.into_raw() < self.next_id,
+            "resurrect: {id} was never allocated"
+        );
+        self.objects.insert(id, object);
+    }
+
+    /// Rebuilds every reference count by scanning the heap. Used after
+    /// checkpoint restore, which bypasses incremental maintenance.
+    pub fn recompute_refcounts(&mut self) {
+        self.refcounts.clear();
+        let mut counts: HashMap<ObjId, usize> = HashMap::new();
+        for obj in self.objects.values() {
+            for v in &obj.fields {
+                if let Some(target) = v.as_ref_id() {
+                    *counts.entry(target).or_insert(0) += 1;
+                }
+            }
+        }
+        self.refcounts = counts;
+    }
+
+    /// Opens a new write-journal layer: every subsequent field write and
+    /// allocation is recorded until the layer is committed or aborted.
+    /// Layers nest (each wrapped call gets its own); writes always go to
+    /// the innermost open layer.
+    ///
+    /// This is the heap half of the *undo-log* masking strategy, the
+    /// copy-on-write style optimization the paper's §6.2 suggests for very
+    /// large objects: instead of eagerly deep-copying the receiver's
+    /// graph, record the writes actually performed and replay them
+    /// backwards on failure.
+    pub fn push_journal(&mut self) {
+        self.journals.push(Journal::default());
+    }
+
+    /// Number of open journal layers.
+    pub fn journal_depth(&self) -> usize {
+        self.journals.len()
+    }
+
+    /// Entries recorded in the innermost open layer (writes, allocations).
+    pub fn journal_len(&self) -> (usize, usize) {
+        self.journals
+            .last()
+            .map(|j| (j.writes.len(), j.allocs.len()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Closes the innermost layer, keeping its effects. If an outer layer
+    /// is open, the entries are merged into it so an outer abort still
+    /// undoes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer is open.
+    pub fn commit_journal(&mut self) {
+        let inner = self.journals.pop().expect("commit_journal: no open journal");
+        if let Some(outer) = self.journals.last_mut() {
+            outer.writes.extend(inner.writes);
+            outer.allocs.extend(inner.allocs);
+        }
+    }
+
+    /// Closes the innermost layer and rolls back every write it recorded,
+    /// newest first. Objects allocated under the layer become garbage once
+    /// the rollback drops the references to them (reclaim with
+    /// [`Heap::reclaim`]). Returns the number of writes undone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer is open.
+    pub fn abort_journal(&mut self) -> usize {
+        let inner = self.journals.pop().expect("abort_journal: no open journal");
+        let undone = inner.writes.len();
+        for (id, slot, old) in inner.writes.into_iter().rev() {
+            // Bypass journaling (the net effect must not be re-recorded),
+            // but maintain reference counts.
+            if let Some(target) = old.as_ref_id() {
+                self.inc_ref(target);
+            }
+            let obj = self
+                .objects
+                .get_mut(&id)
+                .expect("journaled object cannot die while its layer is open");
+            let current = std::mem::replace(&mut obj.fields[slot], old);
+            if let Some(target) = current.as_ref_id() {
+                self.dec_ref(target);
+            }
+        }
+        undone
+    }
+
+    fn inc_ref(&mut self, id: ObjId) {
+        *self.refcounts.entry(id).or_insert(0) += 1;
+    }
+
+    fn dec_ref(&mut self, id: ObjId) {
+        if let Some(n) = self.refcounts.get_mut(&id) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.refcounts.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::registry::RegistryBuilder;
+
+    fn node_registry() -> Rc<Registry> {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Node", |c| {
+            c.field("next", Value::Null);
+            c.field("value", Value::Int(0));
+        });
+        Rc::new(rb.build())
+    }
+
+    fn heap() -> Heap {
+        Heap::new(node_registry())
+    }
+
+    fn alloc_node(h: &mut Heap) -> ObjId {
+        let class = h.registry().class_by_name("Node").unwrap().clone();
+        h.alloc(&class)
+    }
+
+    #[test]
+    fn alloc_uses_schema_defaults() {
+        let mut h = heap();
+        let id = alloc_node(&mut h);
+        assert_eq!(h.field(id, "next"), Some(Value::Null));
+        assert_eq!(h.field(id, "value"), Some(Value::Int(0)));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.stats().allocated, 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.reclaim();
+        assert!(!h.is_live(a));
+        let b = alloc_node(&mut h);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set_field_maintains_refcounts() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        assert_eq!(h.refcount(b), 1);
+        h.set_field(a, "next", Value::Null).unwrap();
+        assert_eq!(h.refcount(b), 0);
+    }
+
+    #[test]
+    fn reclaim_cascades_through_chains() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        let c = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        h.set_field(b, "next", Value::Ref(c)).unwrap();
+        assert_eq!(h.reclaim(), 0, "everything reachable from root");
+        h.set_field(a, "next", Value::Null).unwrap();
+        assert_eq!(h.reclaim(), 2, "b and c cascade");
+        assert!(h.is_live(a));
+        assert_eq!(h.stats().reclaimed, 2);
+    }
+
+    #[test]
+    fn reclaim_spares_rooted_objects() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        assert_eq!(h.reclaim(), 0);
+        h.unroot(a);
+        assert_eq!(h.reclaim(), 1);
+    }
+
+    #[test]
+    fn refcounting_cannot_free_cycles_but_collect_can() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        h.set_field(b, "next", Value::Ref(a)).unwrap();
+        h.unroot(a);
+        // a and b refer to each other: refcounts never drop to zero.
+        assert_eq!(h.reclaim(), 0);
+        assert_eq!(h.len(), 2);
+        // Mark-sweep from the (empty) root set frees both.
+        assert_eq!(h.collect(), 2);
+        assert!(h.is_empty());
+        assert_eq!(h.stats().collected, 2);
+    }
+
+    #[test]
+    fn collect_keeps_rooted_cycles() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        h.set_field(b, "next", Value::Ref(a)).unwrap();
+        assert_eq!(h.collect(), 0);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn resurrect_restores_identity() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let snapshot = h.get(a).unwrap().clone();
+        h.reclaim();
+        assert!(!h.is_live(a));
+        h.resurrect(a, snapshot);
+        h.recompute_refcounts();
+        assert!(h.is_live(a));
+        assert_eq!(h.field(a, "value"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is live")]
+    fn resurrect_live_object_panics() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let obj = h.get(a).unwrap().clone();
+        h.resurrect(a, obj);
+    }
+
+    #[test]
+    fn recompute_refcounts_matches_incremental() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        h.root(a);
+        h.root(b);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        h.set_field(b, "next", Value::Ref(b)).unwrap(); // self loop
+        let before: Vec<usize> = [a, b].iter().map(|id| h.refcount(*id)).collect();
+        h.recompute_refcounts();
+        let after: Vec<usize> = [a, b].iter().map(|id| h.refcount(*id)).collect();
+        assert_eq!(before, after);
+        assert_eq!(h.refcount(b), 2);
+    }
+
+    #[test]
+    fn journal_abort_rolls_back_writes() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        h.set_field(a, "value", Value::Int(3)).unwrap();
+        assert_eq!(h.journal_len(), (2, 0));
+        assert_eq!(h.abort_journal(), 2);
+        assert_eq!(h.field(a, "value"), Some(Value::Int(1)));
+        assert_eq!(h.journal_depth(), 0);
+    }
+
+    #[test]
+    fn journal_commit_keeps_writes_and_merges() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.push_journal(); // outer
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        h.push_journal(); // inner
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        h.commit_journal(); // inner effects survive, but merge into outer
+        assert_eq!(h.field(a, "value"), Some(Value::Int(2)));
+        assert_eq!(h.journal_len(), (2, 0), "inner entries merged into outer");
+        h.abort_journal(); // outer abort undoes both
+        assert_eq!(h.field(a, "value"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn nested_abort_then_outer_abort() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        h.abort_journal(); // inner rollback
+        assert_eq!(h.field(a, "value"), Some(Value::Int(1)));
+        h.abort_journal(); // outer rollback
+        assert_eq!(h.field(a, "value"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn journal_rollback_maintains_refcounts_and_garbage() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        let b = alloc_node(&mut h);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        h.push_journal();
+        let c = alloc_node(&mut h);
+        h.set_field(a, "next", Value::Ref(c)).unwrap();
+        assert_eq!(h.refcount(b), 0);
+        h.abort_journal();
+        assert_eq!(h.refcount(b), 1, "b is referenced again after rollback");
+        assert_eq!(h.refcount(c), 0, "c dropped by rollback");
+        assert_eq!(h.reclaim(), 1, "c is garbage");
+        assert!(h.is_live(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "no open journal")]
+    fn abort_without_journal_panics() {
+        let mut h = heap();
+        h.abort_journal();
+    }
+
+    #[test]
+    fn set_field_on_dead_object_errors() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.reclaim();
+        assert_eq!(
+            h.set_field(a, "next", Value::Null),
+            Err(MorError::DeadObject(a))
+        );
+    }
+
+    #[test]
+    fn set_unknown_field_errors() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        assert!(matches!(
+            h.set_field(a, "nope", Value::Null),
+            Err(MorError::UnknownField { .. })
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Opaque identifiers used throughout the runtime.
+//!
+//! All identifiers are small `Copy` newtypes ([C-NEWTYPE]); they are only
+//! meaningful relative to the [`crate::Registry`] or [`crate::Heap`] that
+//! issued them.
+
+use std::fmt;
+
+/// Identifier of an object on the [`crate::Heap`].
+///
+/// Object ids are **never reused**: once an object is reclaimed its id stays
+/// dead forever. This makes checkpoints (`atomask-objgraph`) able to
+/// resurrect reclaimed objects at their original identity during rollback.
+///
+/// ```
+/// use atomask_mor::ObjId;
+/// let a = ObjId::from_raw(7);
+/// assert_eq!(a.into_raw(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(u64);
+
+impl ObjId {
+    /// Creates an id from its raw representation.
+    pub fn from_raw(raw: u64) -> Self {
+        ObjId(raw)
+    }
+
+    /// Returns the raw representation of the id.
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier of a class in a [`crate::Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Creates an id from its raw representation.
+    pub fn from_raw(raw: u32) -> Self {
+        ClassId(raw)
+    }
+
+    /// Returns the raw representation of the id.
+    pub fn into_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class:{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a method (or constructor) in a
+/// [`crate::Registry`].
+///
+/// Method ids are dense (`0..registry.method_count()`), which lets the
+/// detection and masking phases use plain vectors as per-method tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(pub(crate) u32);
+
+impl MethodId {
+    /// Creates an id from its raw representation.
+    pub fn from_raw(raw: u32) -> Self {
+        MethodId(raw)
+    }
+
+    /// Returns the raw representation of the id.
+    pub fn into_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "method:{}", self.0)
+    }
+}
+
+/// Identifier of an interned exception type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExcId(pub(crate) u32);
+
+impl ExcId {
+    /// Creates an id from its raw representation.
+    pub fn from_raw(raw: u32) -> Self {
+        ExcId(raw)
+    }
+
+    /// Returns the raw representation of the id.
+    pub fn into_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exc:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_id_round_trips() {
+        let id = ObjId::from_raw(42);
+        assert_eq!(id.into_raw(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ObjId> = [3, 1, 2].into_iter().map(ObjId::from_raw).collect();
+        let sorted: Vec<u64> = set.into_iter().map(ObjId::into_raw).collect();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn method_id_indexing() {
+        assert_eq!(MethodId::from_raw(9).index(), 9);
+        assert_eq!(ExcId::from_raw(4).index(), 4);
+        assert_eq!(ClassId::from_raw(2).into_raw(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClassId::from_raw(1).to_string(), "class:1");
+        assert_eq!(MethodId::from_raw(1).to_string(), "method:1");
+        assert_eq!(ExcId::from_raw(1).to_string(), "exc:1");
+    }
+}

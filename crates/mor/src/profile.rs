@@ -1,0 +1,110 @@
+//! Language profiles.
+//!
+//! The paper implements its infrastructure twice — for C++ (source weaving)
+//! and Java (load-time bytecode weaving) — and reports behavioural
+//! differences between the two. A [`Profile`] captures those differences so
+//! a single runtime can emulate either side of the evaluation.
+
+/// The source language being emulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lang {
+    /// C++ semantics (paper §5.1).
+    Cpp,
+    /// Java semantics (paper §5.2).
+    Java,
+}
+
+impl std::fmt::Display for Lang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lang::Cpp => write!(f, "C++"),
+            Lang::Java => write!(f, "Java"),
+        }
+    }
+}
+
+/// A language profile: which exception types any method may throw, whether
+/// declared exceptions are enforced, and whether *core* classes can be
+/// instrumented.
+///
+/// * **C++** (paper §5.1 limitation 3): thrown exceptions need not be
+///   declared, so the injector has to consider a *wider* range of runtime
+///   exception types; everything is instrumentable because weaving happens
+///   on source.
+/// * **Java** (paper §5.2 limitation): declared (`throws`) exceptions are
+///   part of the signature and a small set of core classes (strings,
+///   boxed integers, ...) cannot be instrumented at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// The emulated language.
+    pub lang: Lang,
+    /// Names of the generic runtime exceptions that *any* method may throw
+    /// (the `E_{k+1} .. E_n` of Listing 1). Interned at registry build time.
+    pub runtime_exceptions: Vec<String>,
+    /// If `true`, guest methods throwing a type that is neither declared nor
+    /// a runtime exception are counted as declaration violations in
+    /// [`crate::CallStats`]. (Java: `true`; C++: `false`.)
+    pub enforce_declared: bool,
+    /// If `true`, classes flagged as core are still instrumented (C++);
+    /// if `false`, core classes get neither injection points nor wrappers
+    /// (Java bytecode limitation).
+    pub instrument_core: bool,
+}
+
+impl Profile {
+    /// The C++ profile used for the Self* applications of the evaluation.
+    ///
+    /// The undeclared-exception rule means the injector considers three
+    /// generic runtime exception types for every method.
+    pub fn cpp() -> Self {
+        Profile {
+            lang: Lang::Cpp,
+            runtime_exceptions: vec![
+                "BadAlloc".to_owned(),
+                "RuntimeError".to_owned(),
+                "LogicError".to_owned(),
+            ],
+            enforce_declared: false,
+            instrument_core: true,
+        }
+    }
+
+    /// The Java profile used for the collections/RegExp applications.
+    pub fn java() -> Self {
+        Profile {
+            lang: Lang::Java,
+            runtime_exceptions: vec![
+                "RuntimeException".to_owned(),
+                "OutOfMemoryError".to_owned(),
+            ],
+            enforce_declared: true,
+            instrument_core: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpp_profile_is_wider() {
+        let cpp = Profile::cpp();
+        let java = Profile::java();
+        assert!(cpp.runtime_exceptions.len() > java.runtime_exceptions.len());
+        assert!(!cpp.enforce_declared);
+        assert!(java.enforce_declared);
+    }
+
+    #[test]
+    fn java_cannot_instrument_core() {
+        assert!(!Profile::java().instrument_core);
+        assert!(Profile::cpp().instrument_core);
+    }
+
+    #[test]
+    fn lang_display() {
+        assert_eq!(Lang::Cpp.to_string(), "C++");
+        assert_eq!(Lang::Java.to_string(), "Java");
+    }
+}

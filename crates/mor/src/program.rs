@@ -1,0 +1,138 @@
+//! Guest programs: the unit the detection campaign instruments and re-runs.
+//!
+//! A [`Program`] bundles a registry factory with a driver. The detection
+//! phase (steps 1–3 of the paper's Fig. 1) executes the driver once per
+//! potential injection point on a **fresh VM each run**, so programs must be
+//! deterministic given their construction parameters.
+
+use crate::exception::MethodResult;
+use crate::registry::Registry;
+use crate::vm::Vm;
+
+/// A deterministic guest program.
+pub trait Program {
+    /// Program name, used in reports (e.g. `"LinkedList"`).
+    fn name(&self) -> &str;
+
+    /// Builds the program's registry (classes, methods, exceptions,
+    /// profile). Called once per run.
+    fn build_registry(&self) -> Registry;
+
+    /// Drives the workload. Guest exceptions escaping to the top level
+    /// (e.g. injected ones) are returned as `Err` — that is a normal
+    /// campaign outcome, not a harness failure.
+    fn run(&self, vm: &mut Vm) -> MethodResult;
+}
+
+/// A [`Program`] assembled from closures — convenient for tests and small
+/// workloads.
+///
+/// ```
+/// use atomask_mor::{FnProgram, Profile, RegistryBuilder, Value, Program};
+///
+/// let p = FnProgram::new(
+///     "trivial",
+///     || {
+///         let mut rb = RegistryBuilder::new(Profile::java());
+///         rb.class("A", |c| {
+///             c.method("m", |_, _, _| Ok(Value::Null));
+///         });
+///         rb.build()
+///     },
+///     |vm| {
+///         let a = vm.construct("A", &[])?;
+///         vm.root(a);
+///         vm.call(a, "m", &[])
+///     },
+/// );
+/// let mut vm = atomask_mor::Vm::new(p.build_registry());
+/// assert!(p.run(&mut vm).is_ok());
+/// ```
+pub struct FnProgram {
+    name: String,
+    build: Box<dyn Fn() -> Registry>,
+    run: Box<dyn Fn(&mut Vm) -> MethodResult>,
+}
+
+impl FnProgram {
+    /// Creates a program from a name, a registry factory and a driver.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn() -> Registry + 'static,
+        run: impl Fn(&mut Vm) -> MethodResult + 'static,
+    ) -> Self {
+        FnProgram {
+            name: name.into(),
+            build: Box::new(build),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl Program for FnProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build_registry(&self) -> Registry {
+        (self.build)()
+    }
+
+    fn run(&self, vm: &mut Vm) -> MethodResult {
+        (self.run)(vm)
+    }
+}
+
+impl std::fmt::Debug for FnProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProgram").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::registry::RegistryBuilder;
+    use crate::value::Value;
+
+    fn trivial() -> FnProgram {
+        FnProgram::new(
+            "trivial",
+            || {
+                let mut rb = RegistryBuilder::new(Profile::java());
+                rb.class("A", |c| {
+                    c.field("x", Value::Int(0));
+                    c.method("bump", |ctx, this, _| {
+                        let v = ctx.get_int(this, "x");
+                        ctx.set(this, "x", Value::Int(v + 1));
+                        Ok(Value::Null)
+                    });
+                });
+                rb.build()
+            },
+            |vm| {
+                let a = vm.construct("A", &[])?;
+                vm.root(a);
+                vm.call(a, "bump", &[])?;
+                vm.call(a, "bump", &[])
+            },
+        )
+    }
+
+    #[test]
+    fn fn_program_runs_deterministically() {
+        let p = trivial();
+        for _ in 0..3 {
+            let mut vm = Vm::new(p.build_registry());
+            p.run(&mut vm).unwrap();
+            assert_eq!(vm.stats().total_calls(), 2);
+        }
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(trivial().name(), "trivial");
+        assert!(format!("{:?}", trivial()).contains("trivial"));
+    }
+}

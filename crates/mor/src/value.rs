@@ -1,0 +1,208 @@
+//! Runtime values: the leaves and edges of object graphs.
+
+use crate::ids::ObjId;
+use std::fmt;
+
+/// A runtime value — the content of an object field, a method argument, or a
+/// method return value.
+///
+/// Mirrors Definition 1 of the paper: a node of an object graph is either an
+/// object (here: a [`Value::Ref`] edge to it) or an instance of a basic data
+/// type. `Null` is the null pointer (a node with no children).
+///
+/// Equality of `Value`s is *shallow*: two `Ref`s are equal iff they point to
+/// the same object. Graph-level (deep, sharing-aware) equality is provided by
+/// `atomask-objgraph`.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// The null pointer.
+    #[default]
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE float. Compared bitwise (so `NaN == NaN` here), which
+    /// keeps object-graph comparison a proper equivalence.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string (a basic data instance, not a heap object —
+    /// mirroring the paper's Java limitation that core classes like
+    /// `String` are not instrumented).
+    Str(String),
+    /// A reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Returns the referenced object id, if this value is a non-null
+    /// reference.
+    ///
+    /// ```
+    /// use atomask_mor::{ObjId, Value};
+    /// assert_eq!(Value::Ref(ObjId::from_raw(3)).as_ref_id(), Some(ObjId::from_raw(3)));
+    /// assert_eq!(Value::Null.as_ref_id(), None);
+    /// ```
+    pub fn as_ref_id(&self) -> Option<ObjId> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this value is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this value is a [`Value::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this value is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this value is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` iff this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Structural equality that compares floats bitwise, making it a true
+    /// equivalence relation (usable in canonical graph traces).
+    pub fn bit_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (a, b) => a == b,
+        }
+    }
+
+    /// Approximate size in bytes of the basic-data payload, used for
+    /// checkpoint-size accounting (Fig. 5 of the paper).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len(),
+            Value::Ref(_) => 8,
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<ObjId> for Value {
+    fn from(id: ObjId) -> Self {
+        Value::Ref(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(5).as_bool(), None);
+    }
+
+    #[test]
+    fn bit_eq_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.bit_eq(&Value::Float(f64::NAN)));
+        assert_ne!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert!(!Value::Float(0.0).bit_eq(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(
+            Value::from(ObjId::from_raw(2)),
+            Value::Ref(ObjId::from_raw(2))
+        );
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Value::Null.payload_bytes(), 0);
+        assert_eq!(Value::Int(1).payload_bytes(), 8);
+        assert_eq!(Value::Str("abcd".into()).payload_bytes(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+    }
+}

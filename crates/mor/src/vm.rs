@@ -1,0 +1,516 @@
+//! The virtual machine: call dispatch, frame roots, statistics.
+
+use crate::class::MethodBody;
+use crate::ctx::Ctx;
+use crate::exception::{Exception, MethodResult};
+use crate::heap::Heap;
+use crate::hook::{CallHook, CallKind, CallSite};
+use crate::ids::{MethodId, ObjId};
+use crate::registry::Registry;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-run dynamic call statistics.
+///
+/// `calls[m]` counts dynamic dispatches of method `m`; the paper weights its
+/// method classifications by exactly these counts (Figs. 2b/3b).
+#[derive(Debug, Clone, Default)]
+pub struct CallStats {
+    /// Dynamic call count per [`MethodId`] index.
+    pub calls: Vec<u64>,
+    /// Number of guest exceptions that escaped a method whose signature did
+    /// not declare them, under a profile that enforces declarations (Java).
+    pub declaration_violations: u64,
+    /// Total guest exceptions that propagated out of some call.
+    pub exceptions_seen: u64,
+}
+
+impl CallStats {
+    fn new(methods: usize) -> Self {
+        CallStats {
+            calls: vec![0; methods],
+            declaration_violations: 0,
+            exceptions_seen: 0,
+        }
+    }
+
+    /// Total dynamic calls across all methods.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+}
+
+/// The managed-runtime virtual machine.
+///
+/// Owns the [`Heap`], shares the immutable [`Registry`], and dispatches all
+/// guest calls through the optional [`CallHook`].
+///
+/// The VM is single-threaded by design: the paper (§4.4) explicitly leaves
+/// concurrent programs out of scope.
+pub struct Vm {
+    registry: Rc<Registry>,
+    heap: Heap,
+    hook: Option<Rc<RefCell<dyn CallHook>>>,
+    /// Frame-local root sets: everything a method body can name stays
+    /// rooted while its frame is live, so deferred reclamation can never
+    /// free an object the body still holds an id to.
+    frames: Vec<Vec<ObjId>>,
+    stats: CallStats,
+    call_seq: u64,
+    depth: usize,
+}
+
+impl Vm {
+    /// Creates a VM over a freshly built registry.
+    pub fn new(registry: Registry) -> Self {
+        let registry = Rc::new(registry);
+        let methods = registry.method_count();
+        Vm {
+            heap: Heap::new(registry.clone()),
+            registry,
+            hook: None,
+            frames: Vec::new(),
+            stats: CallStats::new(methods),
+            call_seq: 0,
+            depth: 0,
+        }
+    }
+
+    /// The registry describing the guest program.
+    pub fn registry(&self) -> &Rc<Registry> {
+        &self.registry
+    }
+
+    /// Read access to the heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable access to the heap (used by checkpoint restore and drivers).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Installs (or removes) the call hook — the equivalent of weaving
+    /// wrappers into the program.
+    pub fn set_hook(&mut self, hook: Option<Rc<RefCell<dyn CallHook>>>) {
+        self.hook = hook;
+    }
+
+    /// Dynamic call statistics collected so far.
+    pub fn stats(&self) -> &CallStats {
+        &self.stats
+    }
+
+    /// Resets call statistics (heap state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CallStats::new(self.registry.method_count());
+    }
+
+    /// Adds a persistent root (drivers root the objects they hold across
+    /// reclamation points).
+    pub fn root(&mut self, id: ObjId) {
+        self.heap.root(id);
+    }
+
+    /// Removes a persistent root.
+    pub fn unroot(&mut self, id: ObjId) {
+        self.heap.unroot(id);
+    }
+
+    /// Looks up an interned exception type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was never registered — exception names must be
+    /// declared via [`crate::RegistryBuilder::exception`] or a
+    /// `throws(..)` clause.
+    pub fn exc_id(&self, name: &str) -> crate::ids::ExcId {
+        self.registry
+            .exceptions()
+            .lookup(name)
+            .unwrap_or_else(|| panic!("unknown exception type `{name}` (register it at build time)"))
+    }
+
+    /// Constructs an instance of `class_name`: allocates it and dispatches
+    /// its constructor (if any) through the interposable call boundary, so
+    /// constructors receive injections and wrappers like any method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any guest exception thrown (or injected) by the
+    /// constructor; the partially constructed object is left to the garbage
+    /// collector, as in Java.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_name` is not registered (host error).
+    pub fn construct(&mut self, class_name: &str, args: &[Value]) -> Result<ObjId, Exception> {
+        let class = self
+            .registry
+            .class_by_name(class_name)
+            .unwrap_or_else(|| panic!("unknown class `{class_name}`"))
+            .clone();
+        let id = self.heap.alloc(&class);
+        self.root_in_frame(id);
+        if let Some(ctor) = class.ctor() {
+            let gid = ctor.gid;
+            self.dispatch(gid, id, args, CallKind::Ctor)?;
+        }
+        Ok(id)
+    }
+
+    /// Allocates an instance without running its constructor (raw
+    /// allocation, used by constructors building their own parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_name` is not registered (host error).
+    pub fn alloc_raw(&mut self, class_name: &str) -> ObjId {
+        let class = self
+            .registry
+            .class_by_name(class_name)
+            .unwrap_or_else(|| panic!("unknown class `{class_name}`"))
+            .clone();
+        let id = self.heap.alloc(&class);
+        self.root_in_frame(id);
+        id
+    }
+
+    /// Calls `method` on `recv` through the interposable boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest exception if the callee throws (or an exception
+    /// is injected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recv` is dead or its class has no such method (host
+    /// errors — guest-level null dereference is [`Ctx::call_value`]).
+    pub fn call(&mut self, recv: ObjId, method: &str, args: &[Value]) -> MethodResult {
+        let obj = self
+            .heap
+            .get(recv)
+            .unwrap_or_else(|| panic!("call on dead object {recv}"));
+        let class = self.registry.class(obj.class_id());
+        let slot = class.method_slot(method).unwrap_or_else(|| {
+            panic!("class `{}` has no method `{method}`", class.name)
+        });
+        let gid = class.methods[slot].gid;
+        self.dispatch(gid, recv, args, CallKind::Method)
+    }
+
+    /// Calls a method by global id (used by wrappers and the pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest exceptions, as [`Vm::call`].
+    pub fn call_by_id(&mut self, mid: MethodId, recv: ObjId, args: &[Value]) -> MethodResult {
+        let kind = if self.registry.method(mid).is_ctor {
+            CallKind::Ctor
+        } else {
+            CallKind::Method
+        };
+        self.dispatch(mid, recv, args, kind)
+    }
+
+    /// Current call nesting depth (0 outside any guest call).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Roots `id` in the innermost live frame; no-op at driver level, where
+    /// the driver is responsible for explicit [`Vm::root`]s.
+    pub(crate) fn root_in_frame(&mut self, id: ObjId) {
+        if let Some(frame) = self.frames.last_mut() {
+            frame.push(id);
+            self.heap.root(id);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        mid: MethodId,
+        recv: ObjId,
+        args: &[Value],
+        kind: CallKind,
+    ) -> MethodResult {
+        let (body, declared_ok): (MethodBody, Vec<crate::ids::ExcId>) = {
+            let def = self.registry.method(mid);
+            (body_clone(&def.body), def.declared.clone())
+        };
+        self.stats.calls[mid.index()] += 1;
+        self.call_seq += 1;
+        let site = CallSite {
+            method: mid,
+            class: self.registry.method_class(mid),
+            recv,
+            ref_args: args.iter().filter_map(Value::as_ref_id).collect(),
+            depth: self.depth,
+            kind,
+            seq: self.call_seq,
+        };
+
+        // New frame: receiver and reference arguments stay rooted for the
+        // duration of the call.
+        let mut frame = Vec::with_capacity(1 + site.ref_args.len());
+        frame.push(recv);
+        self.heap.root(recv);
+        for &a in &site.ref_args {
+            self.heap.root(a);
+            frame.push(a);
+        }
+        self.frames.push(frame);
+
+        let hook = self.hook.clone();
+        let (body_ran, guard, mut result) = {
+            match &hook {
+                Some(h) => match h.borrow_mut().before(self, &site) {
+                    Ok(g) => (true, g, None),
+                    Err(e) => (false, None, Some(Err(e))),
+                },
+                None => (true, None, None),
+            }
+        };
+        if result.is_none() {
+            self.depth += 1;
+            let outcome = {
+                let mut ctx = Ctx::new(self);
+                body(&mut ctx, recv, args)
+            };
+            self.depth -= 1;
+            result = Some(outcome);
+        }
+        let mut result = result.expect("outcome decided above");
+
+        // Pop the frame before `after` runs: once the callee returned or
+        // threw, its locals are dead, so rollback cleanup inside `after`
+        // may reclaim objects the failed callee allocated. The wrapper
+        // itself still holds `this` and the by-reference arguments
+        // (Listings 1 and 2 both reference them after the call), so those
+        // stay rooted until the hooks are done.
+        self.heap.root(recv);
+        for &a in &site.ref_args {
+            self.heap.root(a);
+        }
+        let frame = self.frames.pop().expect("frame pushed above");
+        for id in frame {
+            self.heap.unroot(id);
+        }
+
+        if body_ran {
+            if let Some(h) = &hook {
+                result = h.borrow_mut().after(self, &site, guard, result);
+            }
+        }
+        self.heap.unroot(recv);
+        for &a in &site.ref_args {
+            self.heap.unroot(a);
+        }
+
+        match &result {
+            Ok(v) => {
+                // Returned references become nameable by the caller.
+                if let Some(id) = v.as_ref_id() {
+                    self.root_in_frame(id);
+                }
+            }
+            Err(e) => {
+                self.stats.exceptions_seen += 1;
+                if self.registry.profile().enforce_declared
+                    && !e.injected
+                    && !declared_ok.contains(&e.ty)
+                    && !self.registry.runtime_exceptions().contains(&e.ty)
+                {
+                    self.stats.declaration_violations += 1;
+                }
+            }
+        }
+        result
+    }
+
+}
+
+fn body_clone(body: &MethodBody) -> MethodBody {
+    Rc::clone(body)
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("live_objects", &self.heap.len())
+            .field("depth", &self.depth)
+            .field("calls", &self.stats.total_calls())
+            .field("hooked", &self.hook.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::registry::RegistryBuilder;
+
+    fn counter_registry() -> Registry {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Counter", |c| {
+            c.field("count", Value::Int(0));
+            c.ctor(|ctx, this, args| {
+                if let Some(Value::Int(start)) = args.first() {
+                    ctx.set(this, "count", Value::Int(*start));
+                }
+                Ok(Value::Null)
+            });
+            c.method("increment", |ctx, this, _| {
+                let v = ctx.get_int(this, "count");
+                ctx.set(this, "count", Value::Int(v + 1));
+                Ok(Value::Int(v + 1))
+            });
+            c.method("fail", |ctx, this, _| {
+                let v = ctx.get_int(this, "count");
+                ctx.set(this, "count", Value::Int(v + 100)); // non-atomic!
+                Err(ctx.exception("RuntimeException", "boom"))
+            });
+        });
+        rb.build()
+    }
+
+    #[test]
+    fn construct_runs_ctor() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[Value::Int(5)]).unwrap();
+        vm.root(c);
+        assert_eq!(vm.heap().field(c, "count"), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn call_dispatches_and_returns() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        assert_eq!(vm.call(c, "increment", &[]).unwrap(), Value::Int(1));
+        assert_eq!(vm.call(c, "increment", &[]).unwrap(), Value::Int(2));
+        // ctor + two increments: constructor calls are dispatched too.
+        assert_eq!(vm.stats().calls.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn exceptions_propagate_with_partial_state() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        let err = vm.call(c, "fail", &[]).unwrap_err();
+        assert!(!err.injected);
+        assert_eq!(err.message, "boom");
+        // The failed method left the object modified — the very problem the
+        // paper is about.
+        assert_eq!(vm.heap().field(c, "count"), Some(Value::Int(100)));
+        assert_eq!(vm.stats().exceptions_seen, 1);
+    }
+
+    #[test]
+    fn declared_violations_counted_under_java() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.exception("Undeclared");
+        rb.class("A", |c| {
+            c.method("m", |ctx, _, _| Err(ctx.exception("Undeclared", "x")));
+        });
+        let mut vm = Vm::new(rb.build());
+        let a = vm.construct("A", &[]).unwrap();
+        vm.root(a);
+        let _ = vm.call(a, "m", &[]);
+        assert_eq!(vm.stats().declaration_violations, 1);
+    }
+
+    #[test]
+    fn declared_violations_ignored_under_cpp() {
+        let mut rb = RegistryBuilder::new(Profile::cpp());
+        rb.exception("Undeclared");
+        rb.class("A", |c| {
+            c.method("m", |ctx, _, _| Err(ctx.exception("Undeclared", "x")));
+        });
+        let mut vm = Vm::new(rb.build());
+        let a = vm.construct("A", &[]).unwrap();
+        vm.root(a);
+        let _ = vm.call(a, "m", &[]);
+        assert_eq!(vm.stats().declaration_violations, 0);
+    }
+
+    #[test]
+    fn frame_roots_protect_working_objects_from_reclaim() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Builder", |c| {
+            c.field("out", Value::Null);
+            c.method("build", |ctx, this, _| {
+                // A temporary that is unreachable from any field for a
+                // while; reclaim during the frame must not free it.
+                let tmp = ctx.alloc("Builder");
+                ctx.vm().heap_mut().reclaim();
+                assert!(ctx.vm().heap().is_live(tmp), "frame root lost");
+                ctx.set(this, "out", Value::Ref(tmp));
+                Ok(Value::Null)
+            });
+        });
+        let mut vm = Vm::new(rb.build());
+        let b = vm.construct("Builder", &[]).unwrap();
+        vm.root(b);
+        vm.call(b, "build", &[]).unwrap();
+        assert!(vm.heap().field(b, "out").unwrap().as_ref_id().is_some());
+    }
+
+    #[test]
+    fn returned_refs_stay_rooted_in_caller_frame() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Factory", |c| {
+            c.field("dummy", Value::Null);
+            c.method("make", |ctx, _, _| Ok(Value::Ref(ctx.alloc("Factory"))));
+            c.method("use_make", |ctx, this, _| {
+                let v = ctx.call(this, "make", &[])?;
+                let id = v.as_ref_id().unwrap();
+                ctx.vm().heap_mut().reclaim();
+                assert!(ctx.vm().heap().is_live(id), "returned ref reclaimed");
+                Ok(Value::Null)
+            });
+        });
+        let mut vm = Vm::new(rb.build());
+        let f = vm.construct("Factory", &[]).unwrap();
+        vm.root(f);
+        vm.call(f, "use_make", &[]).unwrap();
+    }
+
+    #[test]
+    fn depth_is_zero_outside_calls() {
+        let mut vm = Vm::new(counter_registry());
+        assert_eq!(vm.depth(), 0);
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        vm.call(c, "increment", &[]).unwrap();
+        assert_eq!(vm.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class")]
+    fn construct_unknown_class_panics() {
+        let mut vm = Vm::new(counter_registry());
+        let _ = vm.construct("Nope", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no method")]
+    fn unknown_method_panics() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        let _ = vm.call(c, "nope", &[]);
+    }
+
+    #[test]
+    fn exc_id_resolves_registered_names() {
+        let vm = Vm::new(counter_registry());
+        let id = vm.exc_id("RuntimeException");
+        assert_eq!(vm.registry().exceptions().name(id), "RuntimeException");
+    }
+}

@@ -1,0 +1,36 @@
+//! # atomask-objgraph — object graphs, comparison, checkpoint/rollback
+//!
+//! Implements Definition 1 of the DSN 2003 paper for the managed runtime of
+//! [`atomask_mor`]:
+//!
+//! > *An object graph is a graph where each node is either an object or an
+//! > instance of a basic data type. [...] If two non-null pointers are
+//! > pointing to the same object or instance, their nodes in the object
+//! > graph share the same child node.*
+//!
+//! Two representations are provided, matching the two uses the paper makes
+//! of `deep_copy`:
+//!
+//! * [`Snapshot`] — a **canonical trace** of the graph, cheap to capture and
+//!   to compare. Two snapshots are equal **iff** the object graphs are
+//!   equal in the sense of Definition 1/2 (isomorphic respecting class
+//!   labels, field names and order, basic values, sharing, and cycles) —
+//!   note in particular that equality is insensitive to object identity, so
+//!   a method that replaces a node with a structurally identical fresh node
+//!   still counts as failure atomic. Used by the detection phase's
+//!   before/after comparison (Listing 1).
+//! * [`Checkpoint`] — **deep copies** of every reachable object, able to
+//!   [`Checkpoint::restore`] the heap to the captured state. Used by the
+//!   masking phase's atomicity wrappers (Listing 2) for "checkpoint,
+//!   execute, and roll back on exception".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod size;
+mod trace;
+
+pub use checkpoint::Checkpoint;
+pub use size::{graph_size, GraphSize};
+pub use trace::Snapshot;

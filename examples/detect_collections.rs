@@ -1,0 +1,26 @@
+//! Runs the detection phase over the ten Java collection applications of
+//! the paper's evaluation and prints the Figure 3 style classification,
+//! plus the §6.1 LinkedList case study.
+//!
+//! Run with `cargo run --release --example detect_collections`.
+
+use atomask_suite::report::{evaluate, render_case_study, render_method_classification};
+use atomask_suite::{classify, Campaign, Lang, MarkFilter};
+
+fn main() {
+    let rows: Vec<_> = atomask_suite::apps::java_apps()
+        .iter()
+        .map(|spec| {
+            eprintln!("campaigning {} ...", spec.name);
+            evaluate(spec, None)
+        })
+        .collect();
+    println!("{}", render_method_classification(&rows, Lang::Java));
+
+    eprintln!("case study: LinkedList original vs fixed ...");
+    let buggy = atomask_suite::apps::collections::linked_list::program();
+    let fixed = atomask_suite::apps::collections::linked_list::fixed_program();
+    let buggy_c = classify(&Campaign::new(&buggy).run(), &MarkFilter::default());
+    let fixed_c = classify(&Campaign::new(&fixed).run(), &MarkFilter::default());
+    println!("{}", render_case_study(&buggy_c, &fixed_c));
+}

@@ -1,0 +1,32 @@
+//! Runs the full pipeline (detect → mask → verify) over the six Self\*
+//! C++ applications, showing that every corrected program is failure
+//! atomic and how few methods needed wrapping.
+//!
+//! Run with `cargo run --release --example mask_selfstar`.
+
+use atomask_suite::{Pipeline, Policy};
+
+fn main() {
+    for spec in atomask_suite::apps::cpp_apps() {
+        let program = spec.program();
+        let report = Pipeline::new(&program).policy(Policy::default()).run();
+        let c = &report.classification;
+        println!(
+            "{:<14} methods: {:>2} atomic / {:>2} conditional / {:>2} pure non-atomic",
+            spec.name,
+            c.method_counts.atomic,
+            c.method_counts.conditional,
+            c.method_counts.pure_nonatomic,
+        );
+        println!("    wrapped: {:?}", report.wrapped_names());
+        println!(
+            "    corrected program: {}",
+            if report.corrected_is_atomic() {
+                "failure atomic"
+            } else {
+                "STILL NON-ATOMIC"
+            }
+        );
+        assert!(report.corrected_is_atomic(), "{} failed", spec.name);
+    }
+}

@@ -1,0 +1,58 @@
+//! A close look at one application: the RegExp engine.
+//!
+//! Shows (1) using the engine itself through the managed runtime, (2) the
+//! injection campaign's view of it — the mutable-cursor parser methods are
+//! failure non-atomic while the continuation-based matcher is atomic — and
+//! (3) that the Java profile's core-class limitation (§5.2) exempts
+//! `CharOps` from instrumentation.
+//!
+//! Run with `cargo run --release --example regexp_campaign`.
+
+use atomask_suite::{classify, Campaign, MarkFilter, Value, Verdict, Vm};
+
+fn main() {
+    // 1. Use the engine directly.
+    let program = atomask_suite::apps::regexp::program();
+    use atomask_suite::Program;
+    let mut vm = Vm::new(program.build_registry());
+    let re = vm
+        .construct("RegExp", &[Value::Str("a(b|c)*d".into())])
+        .expect("pattern compiles");
+    vm.root(re);
+    for input in ["ad", "abcbcd", "axd"] {
+        let hit = vm.call(re, "matches", &[Value::Str(input.into())]).unwrap();
+        println!("pattern a(b|c)*d vs {input:?}: {hit}");
+    }
+
+    // 2. Campaign.
+    eprintln!("\ncampaigning RegExp ...");
+    let result = Campaign::new(&program).run();
+    let c = classify(&result, &MarkFilter::default());
+    println!(
+        "\n{} injections over {} used methods",
+        result.total_points,
+        c.method_counts.total()
+    );
+    for verdict in [
+        Verdict::PureNonAtomic,
+        Verdict::ConditionalNonAtomic,
+        Verdict::FailureAtomic,
+    ] {
+        let names: Vec<&str> = c
+            .methods
+            .iter()
+            .filter(|m| m.verdict == Some(verdict))
+            .map(|m| m.name.as_str())
+            .collect();
+        println!("{verdict}: {names:?}");
+    }
+
+    // 3. Core classes are invisible to the campaign.
+    let registry = &result.registry;
+    let char_ops = registry.class_by_name("CharOps").expect("registered");
+    let char_at = char_ops.methods[char_ops.method_slot("charAt").unwrap()].gid;
+    println!(
+        "\nCharOps::charAt instrumentable: {} (Java core-class limitation, §5.2)",
+        registry.instrumentable(char_at)
+    );
+}

@@ -1,0 +1,8 @@
+//! Umbrella package for the `atomask` workspace.
+//!
+//! This package hosts the cross-crate integration tests (in `tests/`) and the
+//! runnable examples (in `examples/`). The library surface simply re-exports
+//! the public facade crate so that examples and tests can use one import.
+
+pub use atomask::*;
+pub use atomask_mor::Program;

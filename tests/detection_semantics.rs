@@ -1,0 +1,128 @@
+//! Detection-phase semantics against ground truth, and the aggregate
+//! "shape" claims of the paper's §6.1.
+
+use atomask_suite::report::evaluate;
+use atomask_suite::synthetic::{ground_truth, validation_program};
+use atomask_suite::{classify, Campaign, Lang, MarkFilter, Verdict};
+
+/// §6: the synthetic benchmark with known combinations of (pure /
+/// conditional) failure (non-)atomic methods is classified exactly right.
+#[test]
+fn synthetic_ground_truth() {
+    let p = validation_program();
+    let result = Campaign::new(&p).run();
+    let c = classify(&result, &MarkFilter::default());
+    for (name, expected) in ground_truth() {
+        assert_eq!(
+            c.method(name).unwrap().verdict,
+            Some(expected),
+            "{name} misclassified"
+        );
+    }
+}
+
+/// A method is failure atomic iff *never* marked non-atomic: a method that
+/// is atomic for some injections and non-atomic for others must be
+/// classified non-atomic.
+#[test]
+fn single_nonatomic_mark_decides() {
+    let p = validation_program();
+    let result = Campaign::new(&p).run();
+    let c = classify(&result, &MarkFilter::default());
+    // `delegate` is marked atomic when the injection aborts `mutateDirty`
+    // at its entry (nothing had changed yet) and non-atomic when it lands
+    // deeper (mutateDirty's partial write is visible). One non-atomic mark
+    // outweighs any number of atomic ones.
+    let delegate = c.method("Probe::delegate").unwrap();
+    assert!(delegate.nonatomic_marks > 0);
+    assert!(
+        delegate.atomic_marks > 0,
+        "delegate is atomic for injections that abort its callee at entry"
+    );
+    assert_ne!(delegate.verdict, Some(Verdict::FailureAtomic));
+}
+
+/// Paper §6.1, Figs. 2 vs 3: the Java applications exhibit a markedly
+/// higher pure failure non-atomic fraction than the carefully written C++
+/// (Self*) applications.
+#[test]
+fn java_has_higher_pure_fraction_than_cpp() {
+    // Representative subset for test-suite speed; the report binary runs
+    // all sixteen.
+    let cpp: Vec<_> = atomask_suite::apps::cpp_apps()
+        .into_iter()
+        .filter(|a| matches!(a.name, "stdQ" | "xml2xml1" | "xml2Ctcp"))
+        .collect();
+    let java: Vec<_> = atomask_suite::apps::java_apps()
+        .into_iter()
+        .filter(|a| matches!(a.name, "LinkedList" | "LLMap" | "LinkedBuffer"))
+        .collect();
+    let pure_pct = |rows: &[atomask_suite::report::AppEvaluation]| {
+        let (pure, total) = rows.iter().fold((0u64, 0u64), |(p, t), r| {
+            (
+                p + r.method_counts.pure_nonatomic,
+                t + r.method_counts.total(),
+            )
+        });
+        pure as f64 * 100.0 / total as f64
+    };
+    let cpp_rows: Vec<_> = cpp.iter().map(|s| evaluate(s, None)).collect();
+    let java_rows: Vec<_> = java.iter().map(|s| evaluate(s, None)).collect();
+    let (cpp_pure, java_pure) = (pure_pct(&cpp_rows), pure_pct(&java_rows));
+    assert!(
+        java_pure > cpp_pure,
+        "expected Java pure% ({java_pure:.1}) > C++ pure% ({cpp_pure:.1})"
+    );
+    assert!(
+        cpp_pure < 20.0,
+        "C++ pure fraction should stay small, got {cpp_pure:.1}%"
+    );
+}
+
+/// Paper §6.1, Figs. 2b/3b: failure non-atomic methods are called
+/// (proportionally) less frequently than failure atomic methods.
+#[test]
+fn nonatomic_methods_are_called_less_often() {
+    for name in ["LinkedList", "HashedMap", "Dynarray"] {
+        let spec = atomask_suite::apps::all_apps()
+            .into_iter()
+            .find(|a| a.name == name)
+            .unwrap();
+        let row = evaluate(&spec, None);
+        let pure_methods = row.method_counts.pct(Verdict::PureNonAtomic);
+        let pure_calls = row.call_counts.pct(Verdict::PureNonAtomic);
+        assert!(
+            pure_calls < pure_methods,
+            "{name}: pure methods {pure_methods:.1}% of methods but {pure_calls:.1}% of calls"
+        );
+    }
+}
+
+/// The Java core-class limitation (§5.2): core classes contribute no
+/// injection points and are never classified.
+#[test]
+fn core_classes_are_invisible() {
+    let program = atomask_suite::apps::program_by_name("RegExp").unwrap();
+    let result = Campaign::new(&program).run();
+    let c = classify(&result, &MarkFilter::default());
+    let char_at = c.method("CharOps::charAt").unwrap();
+    assert_eq!(char_at.verdict, Some(Verdict::FailureAtomic));
+    assert_eq!(char_at.nonatomic_marks + char_at.atomic_marks, 0);
+    // But under C++ rules the same class *would* be instrumented.
+    assert_eq!(result.registry.profile().lang, Lang::Java);
+}
+
+/// Injections into constructors happen and are counted (Table 1 counts
+/// "method and constructor calls").
+#[test]
+fn constructors_receive_injections() {
+    let program = atomask_suite::apps::program_by_name("LLMap").unwrap();
+    let result = Campaign::new(&program).run();
+    let ctor_injections = result
+        .runs
+        .iter()
+        .filter_map(|r| r.injected)
+        .filter(|(m, _)| result.registry.method(*m).is_ctor)
+        .count();
+    assert!(ctor_injections > 0);
+}

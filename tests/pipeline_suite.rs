@@ -1,0 +1,68 @@
+//! End-to-end pipeline over every Table 1 application: detection finds
+//! non-atomic methods where the workload plants them, and the corrected
+//! program always verifies failure atomic.
+
+use atomask_suite::{Lang, Pipeline, Policy};
+
+/// Full pipeline on every suite app, capped to keep the suite fast in
+/// debug builds (the `report` binary runs the uncapped sweeps).
+#[test]
+fn every_app_masks_to_failure_atomic() {
+    for spec in atomask_suite::apps::all_apps() {
+        let program = spec.program();
+        let report = Pipeline::new(&program).max_points(250).run();
+        assert!(
+            report.corrected_is_atomic(),
+            "{}: corrected program still non-atomic: {:#?}",
+            spec.name,
+            report
+                .verified
+                .methods
+                .iter()
+                .filter(|m| m.nonatomic_marks > 0)
+                .map(|m| &m.name)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Two small apps get the full, uncapped treatment (one per language).
+#[test]
+fn full_sweep_small_apps() {
+    for name in ["xml2xml1", "LinkedBuffer"] {
+        let program = atomask_suite::apps::program_by_name(name).unwrap();
+        let report = Pipeline::new(&program).run();
+        assert_eq!(
+            report.detection.injections() as u64,
+            report.detection.total_points,
+            "{name}: full sweep executes every point"
+        );
+        assert!(report.corrected_is_atomic(), "{name}");
+        assert!(
+            report.classification.method_counts.pure_nonatomic > 0,
+            "{name}: the workload plants at least one pure non-atomic method"
+        );
+    }
+}
+
+/// Wrapping everything (conditionals included) must also verify, and uses
+/// a superset of the default mask set.
+#[test]
+fn conservative_policy_also_verifies() {
+    let program = atomask_suite::apps::program_by_name("stdQ").unwrap();
+    let default = Pipeline::new(&program).run();
+    let conservative = Pipeline::new(&program)
+        .policy(Policy::wrap_everything())
+        .run();
+    assert!(conservative.corrected_is_atomic());
+    assert!(conservative.mask_set.is_superset(&default.mask_set));
+}
+
+/// The language split of the suite matches the paper's Table 1.
+#[test]
+fn suite_composition() {
+    let apps = atomask_suite::apps::all_apps();
+    let cpp = apps.iter().filter(|a| a.lang == Lang::Cpp).count();
+    let java = apps.iter().filter(|a| a.lang == Lang::Java).count();
+    assert_eq!((cpp, java), (6, 10));
+}

@@ -1,0 +1,75 @@
+//! The exception-free suggestion workflow (the Analyzer improvement the
+//! paper's §4.3 leaves as future work), applied to the real §6.1 subject:
+//! suggestions alone — no code changes — already remove a large share of
+//! the spurious pure failure non-atomic classifications.
+
+use atomask_suite::{classify, suggest_exception_free, Campaign, MarkFilter, Verdict};
+
+#[test]
+fn suggestions_match_the_case_study_annotations() {
+    // The fixed LinkedList variant annotates the LLCell accessors as
+    // never-throwing by hand; the suggester must find exactly those
+    // methods (plus other quiet leaves) on the *original* program.
+    let buggy = atomask_suite::apps::collections::linked_list::program();
+    use atomask_suite::Program;
+    let registry = buggy.build_registry();
+    let suggested: Vec<String> = suggest_exception_free(&buggy)
+        .into_iter()
+        .map(|m| registry.method_display(m))
+        .collect();
+    for expected in [
+        "LLCell::value",
+        "LLCell::setValue",
+        "LLCell::next",
+        "LLCell::setNext",
+    ] {
+        assert!(
+            suggested.iter().any(|s| s == expected),
+            "{expected} missing from {suggested:?}"
+        );
+    }
+    // Methods that make calls or throw must not be suggested.
+    for forbidden in ["LinkedList::insertFirst", "LinkedList::first", "LinkedList::at"] {
+        assert!(
+            !suggested.iter().any(|s| s == forbidden),
+            "{forbidden} wrongly suggested"
+        );
+    }
+}
+
+#[test]
+fn suggestions_shrink_the_pure_set_without_code_changes() {
+    let buggy = atomask_suite::apps::collections::linked_list::program();
+    let result = Campaign::new(&buggy).run();
+    let plain = classify(&result, &MarkFilter::default());
+    let suggested = suggest_exception_free(&buggy);
+    let informed = classify(&result, &MarkFilter::exception_free(suggested));
+    assert!(
+        informed.method_counts.pure_nonatomic < plain.method_counts.pure_nonatomic,
+        "suggestions should discount some spurious classifications: {} -> {}",
+        plain.method_counts.pure_nonatomic,
+        informed.method_counts.pure_nonatomic
+    );
+    // And they are *sound* on this workload: nothing atomic became
+    // non-atomic (discounting can only remove marks).
+    for (p, i) in plain.methods.iter().zip(&informed.methods) {
+        if p.verdict == Some(Verdict::FailureAtomic) {
+            assert_eq!(i.verdict, Some(Verdict::FailureAtomic), "{}", p.name);
+        }
+    }
+}
+
+#[test]
+fn suggestions_feed_the_masking_policy() {
+    use atomask_suite::{Pipeline, Policy};
+    let buggy = atomask_suite::apps::collections::linked_list::program();
+    let mut policy = Policy::default();
+    policy.exception_free = suggest_exception_free(&buggy).into_iter().collect();
+    let report = Pipeline::new(&buggy).policy(policy).run();
+    // Fewer wrappers than the uninformed pipeline...
+    let uninformed = Pipeline::new(&buggy).run();
+    assert!(report.mask_set.len() <= uninformed.mask_set.len());
+    // ...and the corrected program still verifies failure atomic (under
+    // the same filter, i.e. modulo the asserted-impossible exceptions).
+    assert!(report.corrected_is_atomic(), "{:#?}", report.verified.method_counts);
+}
