@@ -35,7 +35,8 @@ fn register(rb: &mut RegistryBuilder) {
             ctx.call(this, "ensureCapacity", &[int(cap)])?;
             Ok(Value::Null)
         });
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size")))
+            .never_throws();
         c.method("capacity", |ctx, this, _| Ok(ctx.get(this, "capacity")));
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "size") == 0))

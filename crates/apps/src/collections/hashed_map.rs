@@ -9,7 +9,9 @@
 //! automated exception injections".
 
 use crate::util::{absorb, int, rooted, s};
-use atomask_mor::{Ctx, FnProgram, MethodResult, ObjId, Profile, Registry, RegistryBuilder, Value, Vm};
+use atomask_mor::{
+    Ctx, FnProgram, MethodResult, ObjId, Profile, Registry, RegistryBuilder, Value, Vm,
+};
 
 fn hash_value(v: &Value) -> i64 {
     match v {
@@ -85,7 +87,8 @@ fn register(rb: &mut RegistryBuilder) {
             ctx.call(this, "growTable", &[int(4)])?;
             Ok(Value::Null)
         });
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "count"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "count")))
+            .never_throws();
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "count") == 0))
         });
@@ -154,8 +157,7 @@ fn register(rb: &mut RegistryBuilder) {
             }
             let count = ctx.get_int(this, "count");
             ctx.set(this, "count", int(count + 1));
-            let entry =
-                ctx.new_object("HEntry", &[args[0].clone(), h, args[1].clone()])?;
+            let entry = ctx.new_object("HEntry", &[args[0].clone(), h, args[1].clone()])?;
             let chain = ctx.call_value(&bucket, "chain", &[])?;
             ctx.call(entry, "setNext", &[chain])?;
             ctx.call_value(&bucket, "setChain", &[Value::Ref(entry)])?;
@@ -256,9 +258,11 @@ fn driver(vm: &mut Vm) -> MethodResult {
     let map = rooted(vm, "HashedMap", &[])?;
     let m = map.as_ref_id().expect("ref");
     // Enough puts to cross the initial threshold and trigger a rehash.
-    for (i, k) in ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota"]
-        .iter()
-        .enumerate()
+    for (i, k) in [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota",
+    ]
+    .iter()
+    .enumerate()
     {
         vm.call(m, "put", &[s(k), int(i as i64)])?;
     }

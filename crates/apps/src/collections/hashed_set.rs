@@ -2,7 +2,9 @@
 //! design of [`super::hashed_map`], plus set-algebra operations.
 
 use crate::util::{absorb, int, rooted};
-use atomask_mor::{Ctx, FnProgram, MethodResult, ObjId, Profile, Registry, RegistryBuilder, Value, Vm};
+use atomask_mor::{
+    Ctx, FnProgram, MethodResult, ObjId, Profile, Registry, RegistryBuilder, Value, Vm,
+};
 
 fn hash_value(v: &Value) -> i64 {
     match v {
@@ -63,7 +65,8 @@ fn register(rb: &mut RegistryBuilder) {
             ctx.call(this, "growTable", &[int(4)])?;
             Ok(Value::Null)
         });
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "count"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "count")))
+            .never_throws();
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "count") == 0))
         });
@@ -347,10 +350,7 @@ mod tests {
         let (mut vm, a) = fresh();
         vm.call(a, "add", &[s("x")]).unwrap();
         assert_eq!(vm.call(a, "remove", &[s("x")]).unwrap(), Value::Bool(true));
-        assert_eq!(
-            vm.call(a, "remove", &[s("x")]).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(vm.call(a, "remove", &[s("x")]).unwrap(), Value::Bool(false));
     }
 
     #[test]

@@ -34,7 +34,8 @@ fn register(rb: &mut RegistryBuilder) {
         c.field("length", int(0));
         c.field("chunks", int(0));
         c.ctor(|_, _, _| Ok(Value::Null));
-        c.method("length", |ctx, this, _| Ok(ctx.get(this, "length"))).never_throws();
+        c.method("length", |ctx, this, _| Ok(ctx.get(this, "length")))
+            .never_throws();
         c.method("chunkCount", |ctx, this, _| Ok(ctx.get(this, "chunks")));
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "length") == 0))

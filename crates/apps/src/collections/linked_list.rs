@@ -17,7 +17,9 @@
 //!   `removeLast`, whose only post-mutation calls are cell accessors).
 
 use crate::util::{absorb, int, rooted};
-use atomask_mor::{Ctx, FnProgram, MethodResult, ObjId, Registry, RegistryBuilder, Profile, Value, Vm};
+use atomask_mor::{
+    Ctx, FnProgram, MethodResult, ObjId, Profile, Registry, RegistryBuilder, Value, Vm,
+};
 
 /// Exception thrown by element accessors on empty lists / bad indices.
 pub const NO_SUCH_ELEMENT: &str = "NoSuchElementException";
@@ -155,10 +157,14 @@ fn common_readers(c: &mut atomask_mor::ClassBuilder) {
     });
     // Delegators: no own mutation before the delegate call — conditional
     // failure non-atomic at worst.
-    c.method("push", |ctx, this, args| ctx.call(this, "insertFirst", args));
+    c.method("push", |ctx, this, args| {
+        ctx.call(this, "insertFirst", args)
+    });
     c.method("pop", |ctx, this, _| ctx.call(this, "removeFirst", &[]))
         .throws(NO_SUCH_ELEMENT);
-    c.method("enqueue", |ctx, this, args| ctx.call(this, "insertLast", args));
+    c.method("enqueue", |ctx, this, args| {
+        ctx.call(this, "insertLast", args)
+    });
     c.method("dequeue", |ctx, this, _| ctx.call(this, "removeFirst", &[]))
         .throws(NO_SUCH_ELEMENT);
     c.method("clear", |ctx, this, _| {
@@ -578,7 +584,11 @@ mod tests {
     use atomask_mor::Program;
 
     fn fresh(buggy: bool) -> (Vm, ObjId) {
-        let reg = if buggy { build_registry() } else { fixed_registry() };
+        let reg = if buggy {
+            build_registry()
+        } else {
+            fixed_registry()
+        };
         let mut vm = Vm::new(reg);
         let l = vm.construct("LinkedList", &[]).unwrap();
         vm.root(l);

@@ -34,7 +34,8 @@ fn register(rb: &mut RegistryBuilder) {
         c.field("size", int(0));
         c.field("puts", int(0));
         c.ctor(|_, _, _| Ok(Value::Null));
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size")))
+            .never_throws();
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "size") == 0))
         });

@@ -73,7 +73,11 @@ pub(crate) fn color_of(ctx: &mut Ctx<'_>, n: &Value) -> Result<i64, atomask_mor:
     Ok(ctx.call_value(n, "color", &[])?.as_int().unwrap_or(BLACK))
 }
 
-pub(crate) fn set_color(ctx: &mut Ctx<'_>, n: &Value, c: i64) -> Result<(), atomask_mor::Exception> {
+pub(crate) fn set_color(
+    ctx: &mut Ctx<'_>,
+    n: &Value,
+    c: i64,
+) -> Result<(), atomask_mor::Exception> {
     if !n.is_null() {
         ctx.call_value(n, "setColor", &[int(c)])?;
     }
@@ -106,7 +110,11 @@ pub(crate) fn key_of(ctx: &mut Ctx<'_>, n: &Value) -> Result<i64, atomask_mor::E
 }
 
 /// TreeMap's `rotateLeft`, on a map instance.
-pub(crate) fn rotate_left(ctx: &mut Ctx<'_>, this: ObjId, p: &Value) -> Result<(), atomask_mor::Exception> {
+pub(crate) fn rotate_left(
+    ctx: &mut Ctx<'_>,
+    this: ObjId,
+    p: &Value,
+) -> Result<(), atomask_mor::Exception> {
     if p.is_null() {
         return Ok(());
     }
@@ -131,7 +139,11 @@ pub(crate) fn rotate_left(ctx: &mut Ctx<'_>, this: ObjId, p: &Value) -> Result<(
 }
 
 /// TreeMap's `rotateRight`.
-pub(crate) fn rotate_right(ctx: &mut Ctx<'_>, this: ObjId, p: &Value) -> Result<(), atomask_mor::Exception> {
+pub(crate) fn rotate_right(
+    ctx: &mut Ctx<'_>,
+    this: ObjId,
+    p: &Value,
+) -> Result<(), atomask_mor::Exception> {
     if p.is_null() {
         return Ok(());
     }
@@ -322,7 +334,11 @@ pub(crate) fn min_node(ctx: &mut Ctx<'_>, n: Value) -> MethodResult {
 }
 
 /// TreeMap's `deleteEntry`, starting from the node to remove.
-pub(crate) fn delete_entry(ctx: &mut Ctx<'_>, this: ObjId, mut p: Value) -> Result<(), atomask_mor::Exception> {
+pub(crate) fn delete_entry(
+    ctx: &mut Ctx<'_>,
+    this: ObjId,
+    mut p: Value,
+) -> Result<(), atomask_mor::Exception> {
     let l = left_of(ctx, &p)?;
     let r = right_of(ctx, &p)?;
     if !l.is_null() && !r.is_null() {
@@ -429,4 +445,3 @@ pub(crate) fn rb_invariant(vm: &Vm, map: ObjId, node_class: &str) -> bool {
     }
     check(vm, &root, None, None, node_class).is_some()
 }
-

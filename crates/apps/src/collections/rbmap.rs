@@ -20,7 +20,8 @@ fn register(rb: &mut RegistryBuilder) {
         c.field("root", Value::Null);
         c.field("size", int(0));
         c.ctor(|_, _, _| Ok(Value::Null));
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size")))
+            .never_throws();
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "size") == 0))
         });
@@ -42,8 +43,7 @@ fn register(rb: &mut RegistryBuilder) {
             let root = ctx.get(this, "root");
             if root.is_null() {
                 ctx.set(this, "size", int(1));
-                let node =
-                    ctx.new_object("RBNode", &[args[0].clone(), args[1].clone()])?;
+                let node = ctx.new_object("RBNode", &[args[0].clone(), args[1].clone()])?;
                 ctx.call(node, "setColor", &[int(BLACK)])?;
                 ctx.set(this, "root", Value::Ref(node));
                 return Ok(Value::Null);
@@ -64,10 +64,8 @@ fn register(rb: &mut RegistryBuilder) {
                 if next.is_null() {
                     let size = ctx.get_int(this, "size");
                     ctx.set(this, "size", int(size + 1));
-                    let node = ctx.new_object(
-                        "RBNode",
-                        &[args[0].clone(), args[1].clone(), t.clone()],
-                    )?;
+                    let node =
+                        ctx.new_object("RBNode", &[args[0].clone(), args[1].clone(), t.clone()])?;
                     if k < tk {
                         ctx.call_value(&t, "setLeft", &[Value::Ref(node)])?;
                     } else {
@@ -194,7 +192,9 @@ mod tests {
         // Deterministic pseudo-random op sequence.
         let mut x: i64 = 12345;
         for step in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33).rem_euclid(40);
             match step % 3 {
                 0 | 1 => {
@@ -208,7 +208,10 @@ mod tests {
                     assert_eq!(got, expected.map(int).unwrap_or(Value::Null), "remove {k}");
                 }
             }
-            assert!(invariant_holds(&vm, m), "RB invariant broken at step {step}");
+            assert!(
+                invariant_holds(&vm, m),
+                "RB invariant broken at step {step}"
+            );
             assert_eq!(
                 vm.call(m, "size", &[]).unwrap(),
                 int(model.len() as i64),

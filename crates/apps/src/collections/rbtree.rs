@@ -16,7 +16,8 @@ fn register(rb: &mut RegistryBuilder) {
         c.field("size", int(0));
         c.field("adds", int(0));
         c.ctor(|_, _, _| Ok(Value::Null));
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size")))
+            .never_throws();
         c.method("isEmpty", |ctx, this, _| {
             Ok(Value::Bool(ctx.get_int(this, "size") == 0))
         });
@@ -52,10 +53,8 @@ fn register(rb: &mut RegistryBuilder) {
                 if next.is_null() {
                     let size = ctx.get_int(this, "size");
                     ctx.set(this, "size", int(size + 1));
-                    let node = ctx.new_object(
-                        "TNode",
-                        &[args[0].clone(), Value::Null, t.clone()],
-                    )?;
+                    let node =
+                        ctx.new_object("TNode", &[args[0].clone(), Value::Null, t.clone()])?;
                     if k < tk {
                         ctx.call_value(&t, "setLeft", &[Value::Ref(node)])?;
                     } else {
@@ -217,7 +216,10 @@ mod tests {
         let (mut vm, t) = fresh();
         assert_eq!(vm.call(t, "add", &[int(5)]).unwrap(), Value::Bool(true));
         assert_eq!(vm.call(t, "add", &[int(5)]).unwrap(), Value::Bool(false));
-        assert_eq!(vm.call(t, "contains", &[int(5)]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            vm.call(t, "contains", &[int(5)]).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(vm.call(t, "remove", &[int(5)]).unwrap(), Value::Bool(true));
         assert_eq!(vm.call(t, "remove", &[int(5)]).unwrap(), Value::Bool(false));
         assert_eq!(vm.call(t, "size", &[]).unwrap(), int(0));
@@ -229,7 +231,9 @@ mod tests {
         let mut model: BTreeSet<i64> = BTreeSet::new();
         let mut x: i64 = 98765;
         for step in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33).rem_euclid(35);
             if step % 3 != 2 {
                 let expected = model.insert(k);
@@ -240,12 +244,12 @@ mod tests {
                 let got = vm.call(t, "remove", &[int(k)]).unwrap();
                 assert_eq!(got, Value::Bool(expected), "remove {k} at step {step}");
             }
-            assert!(invariant_holds(&vm, t), "RB invariant broken at step {step}");
+            assert!(
+                invariant_holds(&vm, t),
+                "RB invariant broken at step {step}"
+            );
         }
-        assert_eq!(
-            vm.call(t, "size", &[]).unwrap(),
-            int(model.len() as i64)
-        );
+        assert_eq!(vm.call(t, "size", &[]).unwrap(), int(model.len() as i64));
         if let Some(min) = model.iter().next() {
             assert_eq!(vm.call(t, "min", &[]).unwrap(), int(*min));
             assert_eq!(
@@ -266,7 +270,10 @@ mod tests {
             vm.call(t, "countRange", &[int(-5), int(100)]).unwrap(),
             int(20)
         );
-        assert_eq!(vm.call(t, "countRange", &[int(30), int(40)]).unwrap(), int(0));
+        assert_eq!(
+            vm.call(t, "countRange", &[int(30), int(40)]).unwrap(),
+            int(0)
+        );
     }
 
     #[test]

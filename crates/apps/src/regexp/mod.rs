@@ -33,7 +33,11 @@ fn cont_match(ctx: &mut Ctx<'_>, input: &Value, pos: i64, cont: &Value, fuel: i6
     }
     let node = ctx.call_value(cont, "node", &[])?;
     let next = ctx.call_value(cont, "next", &[])?;
-    ctx.call_value(&node, "matchAt", &[input.clone(), int(pos), next, int(fuel)])
+    ctx.call_value(
+        &node,
+        "matchAt",
+        &[input.clone(), int(pos), next, int(fuel)],
+    )
 }
 
 fn burn(ctx: &mut Ctx<'_>, fuel: i64) -> Result<i64, atomask_mor::Exception> {
@@ -57,7 +61,9 @@ fn register(rb: &mut RegistryBuilder) {
             }
         });
         c.method("len", |_, _, args| {
-            Ok(int(args[0].as_str().map(|t| t.chars().count()).unwrap_or(0) as i64))
+            Ok(int(
+                args[0].as_str().map(|t| t.chars().count()).unwrap_or(0) as i64,
+            ))
         });
     });
     rb.class("RxCont", |c| {
@@ -126,7 +132,12 @@ fn register(rb: &mut RegistryBuilder) {
             ctx.call_value(
                 &first,
                 "matchAt",
-                &[args[0].clone(), args[1].clone(), Value::Ref(cont), int(fuel)],
+                &[
+                    args[0].clone(),
+                    args[1].clone(),
+                    Value::Ref(cont),
+                    int(fuel),
+                ],
             )
         })
         .throws(OVERFLOW);
@@ -174,7 +185,12 @@ fn register(rb: &mut RegistryBuilder) {
             let hit = ctx.call_value(
                 &inner,
                 "matchAt",
-                &[args[0].clone(), args[1].clone(), Value::Ref(again), int(fuel)],
+                &[
+                    args[0].clone(),
+                    args[1].clone(),
+                    Value::Ref(again),
+                    int(fuel),
+                ],
             )?;
             if hit == Value::Bool(true) {
                 return Ok(hit);

@@ -244,7 +244,9 @@ mod tests {
         assert_eq!(vm.call(clamp, "clamped", &[]).unwrap(), int(1));
         // Invalid reconfiguration throws — and leaves `lo` dirty, the
         // planted non-atomicity.
-        let err = vm.call(clamp, "reconfigure", &[int(99), int(5)]).unwrap_err();
+        let err = vm
+            .call(clamp, "reconfigure", &[int(99), int(5)])
+            .unwrap_err();
         assert_eq!(vm.registry().exceptions().name(err.ty), "ConfigError");
         assert_eq!(vm.heap().field(clamp, "lo"), Some(int(99)));
         assert_eq!(vm.heap().field(clamp, "hi"), Some(int(10)));

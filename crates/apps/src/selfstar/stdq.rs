@@ -30,7 +30,8 @@ fn register(rb: &mut RegistryBuilder) {
             }
             Ok(Value::Null)
         });
-        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size"))).never_throws();
+        c.method("size", |ctx, this, _| Ok(ctx.get(this, "size")))
+            .never_throws();
         c.method("capacity", |ctx, this, _| Ok(ctx.get(this, "capacity")))
             .never_throws();
         c.method("isEmpty", |ctx, this, _| {

@@ -113,7 +113,9 @@ mod tests {
         vm.heap_mut().set_field(c, "window", int(6)).unwrap();
         vm.call(c, "send", &[Value::Str("abcd".into())]).unwrap();
         let before = atomask_objgraph::Snapshot::of(vm.heap(), c);
-        let err = vm.call(c, "send", &[Value::Str("efgh".into())]).unwrap_err();
+        let err = vm
+            .call(c, "send", &[Value::Str("efgh".into())])
+            .unwrap_err();
         assert_eq!(err.message, "send window exhausted");
         // Commit-last style: the failed send changed nothing.
         assert_eq!(atomask_objgraph::Snapshot::of(vm.heap(), c), before);

@@ -316,11 +316,11 @@ mod tests {
     fn errors_are_positioned() {
         let mut vm = vm();
         for bad in [
-            "<a><b></a>",   // mismatched closing tag
-            "<a",           // truncated
-            "no-xml",       // no root
-            "<a></a><b/>",  // trailing content
-            r#"<a x=1/>"#,  // unquoted attribute
+            "<a><b></a>",  // mismatched closing tag
+            "<a",          // truncated
+            "no-xml",      // no root
+            "<a></a><b/>", // trailing content
+            r#"<a x=1/>"#, // unquoted attribute
         ] {
             let err = parse(&mut vm, bad).unwrap_err();
             assert_eq!(

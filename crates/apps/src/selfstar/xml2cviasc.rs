@@ -88,10 +88,8 @@ fn register(rb: &mut RegistryBuilder) {
                         comp
                     }
                     other => {
-                        return Err(ctx.exception(
-                            CONFIG_ERROR,
-                            format!("unknown component kind `{other}`"),
-                        ))
+                        return Err(ctx
+                            .exception(CONFIG_ERROR, format!("unknown component kind `{other}`")))
                     }
                 };
                 // Commit progress eagerly (the planted vulnerability).
@@ -279,7 +277,12 @@ mod tests {
         assert_eq!(vm.call(builder, "components", &[]).unwrap(), int(3));
         // Pipeline order is document order: offset(+5) → doubler → clamp.
         vm.call(app, "process", &[int(10)]).unwrap();
-        let sink = vm.heap().field(builder, "sink").unwrap().as_ref_id().unwrap();
+        let sink = vm
+            .heap()
+            .field(builder, "sink")
+            .unwrap()
+            .as_ref_id()
+            .unwrap();
         assert_eq!(vm.call(sink, "last", &[]).unwrap(), int(30));
         // Clamp cap at 60.
         vm.call(app, "process", &[int(100)]).unwrap();
@@ -314,7 +317,12 @@ mod tests {
         vm.call(app, "process", &[int(5)]).unwrap();
         // doubler → offset(-1): 5*2 - 1 = 9 into both sinks.
         for field in ["sink", "sink2"] {
-            let sink = vm.heap().field(builder, field).unwrap().as_ref_id().unwrap();
+            let sink = vm
+                .heap()
+                .field(builder, field)
+                .unwrap()
+                .as_ref_id()
+                .unwrap();
             assert_eq!(vm.call(sink, "last", &[]).unwrap(), int(9), "{field}");
         }
     }

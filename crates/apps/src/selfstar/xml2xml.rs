@@ -88,11 +88,7 @@ fn register(rb: &mut RegistryBuilder) {
             let out = ctx.call(this, "transform", &[args[0].clone()])?;
             let n = ctx.call(this, "countNodes", &[out.clone()])?;
             let total = ctx.get_int(this, "nodesRewritten");
-            ctx.set(
-                this,
-                "nodesRewritten",
-                int(total + n.as_int().unwrap_or(0)),
-            );
+            ctx.set(this, "nodesRewritten", int(total + n.as_int().unwrap_or(0)));
             Ok(out)
         });
         c.method("nodesRewritten", |ctx, this, _| {
@@ -175,10 +171,7 @@ mod tests {
         let parser = vm.construct("XmlParser", &[s("")]).unwrap();
         vm.root(parser);
         let transformer = vm
-            .construct(
-                "Transformer",
-                &[s("item"), s("entry"), Value::Bool(strip)],
-            )
+            .construct("Transformer", &[s("item"), s("entry"), Value::Bool(strip)])
             .unwrap();
         vm.root(transformer);
         let writer = vm.construct("XmlWriter", &[]).unwrap();

@@ -75,7 +75,8 @@ fn run_list_ops(vm: &mut Vm, list: ObjId, ops: &[ListOp]) -> VecDeque<i64> {
                     continue;
                 }
                 let i = i % (model.len() + 1);
-                vm.call(list, "insertAt", &[int(i as i64), int(*v)]).unwrap();
+                vm.call(list, "insertAt", &[int(i as i64), int(*v)])
+                    .unwrap();
                 model.insert(i, *v);
             }
             ListOp::RemoveAt(i) => {
@@ -344,9 +345,7 @@ fn reference_match(pattern: &str, input: &str) -> bool {
                 }
                 go(&toks[1..], input)
             }
-            Some(t) => {
-                !input.is_empty() && single(t, input[0]) && go(&toks[1..], &input[1..])
-            }
+            Some(t) => !input.is_empty() && single(t, input[0]) && go(&toks[1..], &input[1..]),
         }
     }
     let input: Vec<char> = input.chars().collect();

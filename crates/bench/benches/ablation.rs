@@ -16,7 +16,10 @@ use std::hint::black_box;
 use std::rc::Rc;
 
 fn wrapped_gid(vm: &Vm) -> atomask::MethodId {
-    let holder = vm.registry().class_by_name("Holder").expect("perf registry");
+    let holder = vm
+        .registry()
+        .class_by_name("Holder")
+        .expect("perf registry");
     holder.methods[holder.method_slot("workWrapped").expect("method")].gid
 }
 

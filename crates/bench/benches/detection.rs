@@ -34,9 +34,8 @@ fn bench_single_runs(c: &mut Criterion) {
             let program = atomask::apps::program_by_name(name).expect("suite app");
             b.iter(|| {
                 let mut vm = atomask::Vm::new(program.build_registry());
-                let hook = std::rc::Rc::new(std::cell::RefCell::new(
-                    atomask::InjectionHook::observing(),
-                ));
+                let hook =
+                    std::rc::Rc::new(std::cell::RefCell::new(atomask::InjectionHook::observing()));
                 vm.set_hook(Some(hook));
                 black_box(program.run(&mut vm)).ok();
             });

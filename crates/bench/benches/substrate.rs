@@ -30,14 +30,10 @@ fn bench_snapshot(c: &mut Criterion) {
 fn bench_checkpoint(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpoint");
     for bytes in [64usize, 1024, 16384] {
-        group.bench_with_input(
-            BenchmarkId::new("capture", bytes),
-            &bytes,
-            |b, &bytes| {
-                let (vm, holder) = perf_vm(bytes);
-                b.iter(|| black_box(Checkpoint::capture(vm.heap(), &[holder])));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("capture", bytes), &bytes, |b, &bytes| {
+            let (vm, holder) = perf_vm(bytes);
+            b.iter(|| black_box(Checkpoint::capture(vm.heap(), &[holder])));
+        });
         group.bench_with_input(
             BenchmarkId::new("capture_restore", bytes),
             &bytes,

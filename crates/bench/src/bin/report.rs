@@ -9,7 +9,7 @@
 
 use atomask::report::{
     render_case_study, render_class_distribution, render_method_classification, render_overhead,
-    render_table1,
+    render_run_health, render_table1,
 };
 use atomask::{classify, overhead, Campaign, Lang, MarkFilter};
 use atomask_bench::evaluate_apps;
@@ -33,6 +33,7 @@ fn main() {
 
     if matches!(what, "table1" | "all") {
         println!("{}", render_table1(&rows));
+        println!("{}", render_run_health(&rows));
     }
     if matches!(what, "fig2" | "all") {
         println!("{}", render_method_classification(&rows, Lang::Cpp));

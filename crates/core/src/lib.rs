@@ -50,16 +50,17 @@ pub mod synthetic;
 pub use pipeline::{Pipeline, PipelineReport};
 
 pub use atomask_inject::{
-    classify, suggest_exception_free, Campaign, CampaignResult, Classification, InjectionHook,
-    Mark, MarkFilter, MethodClassification, RunResult, Verdict, VerdictCounts,
+    classify, suggest_exception_free, Campaign, CampaignConfig, CampaignJournal, CampaignResult,
+    Classification, InjectionHook, Mark, MarkFilter, MethodClassification, RetryPolicy, RunHealth,
+    RunOutcome, RunResult, Verdict, VerdictCounts,
 };
 pub use atomask_mask::{
-    verify_masked, verify_masked_with, MaskStats, MaskStrategy, MaskingHook, Policy,
-    UndoMaskingHook, UndoStats,
+    verify_masked, verify_masked_configured, verify_masked_with, MaskStats, MaskStrategy,
+    MaskingHook, Policy, UndoMaskingHook, UndoStats,
 };
 pub use atomask_mor::{
-    CallHook, CallKind, CallSite, ClassBuilder, ClassId, Ctx, ExcId, Exception, FnProgram, Heap,
-    HookChain, Lang, MethodId, MethodResult, MorError, ObjId, Profile, Program, Registry,
+    Budget, CallHook, CallKind, CallSite, ClassBuilder, ClassId, Ctx, ExcId, Exception, FnProgram,
+    Heap, HookChain, Lang, MethodId, MethodResult, MorError, ObjId, Profile, Program, Registry,
     RegistryBuilder, Value, Vm,
 };
 pub use atomask_objgraph::{graph_size, Checkpoint, GraphSize, Snapshot};

@@ -1,8 +1,10 @@
 //! The end-to-end pipeline: steps 1–5 of the paper's Fig. 1 plus the
 //! corrected-program validation.
 
-use atomask_inject::{classify, Campaign, CampaignResult, Classification};
-use atomask_mask::{verify_masked, Policy};
+use atomask_inject::{
+    classify, Campaign, CampaignConfig, CampaignResult, Classification, RunHealth,
+};
+use atomask_mask::{verify_masked_configured, MaskStrategy, Policy};
 use atomask_mor::{MethodId, Program};
 use std::collections::HashSet;
 
@@ -25,6 +27,19 @@ impl PipelineReport {
     pub fn corrected_is_atomic(&self) -> bool {
         self.verified.method_counts.pure_nonatomic == 0
             && self.verified.method_counts.conditional == 0
+    }
+
+    /// Run health of the detection campaign (outcome counts, retries,
+    /// fuel). Unhealthy runs contribute no marks to the classification;
+    /// a non-zero [`RunHealth::unhealthy`] count means the classification
+    /// rests on a partial sweep.
+    pub fn detection_health(&self) -> RunHealth {
+        self.classification.health
+    }
+
+    /// Run health of the verification campaign over the corrected program.
+    pub fn verification_health(&self) -> RunHealth {
+        self.verified.health
     }
 
     /// Display names of the methods that were wrapped.
@@ -54,6 +69,7 @@ pub struct Pipeline<'p> {
     program: &'p dyn Program,
     policy: Policy,
     max_points: Option<u64>,
+    campaign_config: CampaignConfig,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -61,6 +77,7 @@ impl std::fmt::Debug for Pipeline<'_> {
         f.debug_struct("Pipeline")
             .field("program", &self.program.name())
             .field("max_points", &self.max_points)
+            .field("campaign_config", &self.campaign_config)
             .finish()
     }
 }
@@ -72,6 +89,7 @@ impl<'p> Pipeline<'p> {
             program,
             policy: Policy::default(),
             max_points: None,
+            campaign_config: CampaignConfig::default(),
         }
     }
 
@@ -89,19 +107,29 @@ impl<'p> Pipeline<'p> {
         self
     }
 
+    /// Sets the resilience configuration — fuel budget, retry policy, and
+    /// failure cap — applied to **both** the detection and the
+    /// verification campaign.
+    pub fn campaign_config(mut self, config: CampaignConfig) -> Self {
+        self.campaign_config = config;
+        self
+    }
+
     /// Executes the full pipeline.
     pub fn run(&self) -> PipelineReport {
-        let mut campaign = Campaign::new(self.program);
+        let mut campaign = Campaign::new(self.program).config(self.campaign_config);
         if let Some(cap) = self.max_points {
             campaign = campaign.max_points(cap);
         }
         let detection = campaign.run();
         let classification = classify(&detection, &self.policy.mark_filter());
         let mask_set = self.policy.mask_set(&classification);
-        let verified = verify_masked_capped(
+        let verified = verify_masked_configured(
             self.program,
             &mask_set,
-            &self.policy,
+            &self.policy.mark_filter(),
+            MaskStrategy::DeepCopy,
+            self.campaign_config,
             self.max_points,
         );
         PipelineReport {
@@ -109,32 +137,6 @@ impl<'p> Pipeline<'p> {
             classification,
             mask_set,
             verified,
-        }
-    }
-}
-
-fn verify_masked_capped(
-    program: &dyn Program,
-    mask_set: &HashSet<MethodId>,
-    policy: &Policy,
-    cap: Option<u64>,
-) -> Classification {
-    match cap {
-        None => verify_masked(program, mask_set, &policy.mark_filter()),
-        Some(cap) => {
-            // Re-implement verify_masked with a cap (the helper itself
-            // always sweeps fully).
-            use atomask_mask::MaskingHook;
-            use std::cell::RefCell;
-            use std::rc::Rc;
-            let mask_set = mask_set.clone();
-            let result = Campaign::new(program)
-                .with_inner_hook(move |_| {
-                    Rc::new(RefCell::new(MaskingHook::new(mask_set.clone())))
-                })
-                .max_points(cap)
-                .run();
-            classify(&result, &policy.mark_filter())
         }
     }
 }
@@ -172,6 +174,23 @@ mod tests {
         let p = validation_program();
         let report = Pipeline::new(&p).max_points(5).run();
         assert_eq!(report.detection.injections(), 5);
+    }
+
+    #[test]
+    fn campaign_config_threads_through_both_campaigns() {
+        let p = validation_program();
+        let config = CampaignConfig {
+            budget: atomask_mor::Budget::fuel(1_000_000),
+            ..CampaignConfig::default()
+        };
+        let report = Pipeline::new(&p).campaign_config(config).run();
+        assert!(report.corrected_is_atomic(), "{:#?}", report.verified);
+        assert_eq!(report.detection_health().unhealthy(), 0);
+        assert_eq!(report.verification_health().unhealthy(), 0);
+        assert!(
+            report.detection_health().fuel_spent > 0,
+            "budgeted runs meter fuel"
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@
 
 use crate::overhead::OverheadSample;
 use atomask_apps::AppSpec;
-use atomask_inject::{classify, Campaign, Classification, MarkFilter, Verdict, VerdictCounts};
+use atomask_inject::{
+    classify, Campaign, CampaignConfig, Classification, MarkFilter, RunHealth, Verdict,
+    VerdictCounts,
+};
 use atomask_mor::Lang;
 
 /// The per-application numbers behind Table 1 and Figs. 2–4.
@@ -36,6 +39,10 @@ pub struct AppEvaluation {
     pub call_counts: VerdictCounts,
     /// Per-verdict class counts (Fig. 4).
     pub class_counts: VerdictCounts,
+    /// Run health of the campaign behind these numbers. Any unhealthy runs
+    /// (diverged, panicked, skipped) contributed no marks — they flag the
+    /// row as resting on a partial sweep.
+    pub health: RunHealth,
 }
 
 /// Runs the detection campaign for one suite application and summarizes it.
@@ -43,8 +50,18 @@ pub struct AppEvaluation {
 /// `cap` limits the number of injector runs (pass `None` for the full
 /// sweep, as the paper does).
 pub fn evaluate(spec: &AppSpec, cap: Option<u64>) -> AppEvaluation {
+    evaluate_configured(spec, cap, CampaignConfig::default())
+}
+
+/// [`evaluate`] under an explicit resilience [`CampaignConfig`] (fuel
+/// budget, retry policy, failure cap).
+pub fn evaluate_configured(
+    spec: &AppSpec,
+    cap: Option<u64>,
+    config: CampaignConfig,
+) -> AppEvaluation {
     let program = spec.program();
-    let mut campaign = Campaign::new(&program);
+    let mut campaign = Campaign::new(&program).config(config);
     if let Some(cap) = cap {
         campaign = campaign.max_points(cap);
     }
@@ -60,6 +77,7 @@ pub fn evaluate(spec: &AppSpec, cap: Option<u64>) -> AppEvaluation {
         method_counts: c.method_counts,
         call_counts: c.call_counts,
         class_counts: c.class_counts,
+        health: c.health,
     }
 }
 
@@ -79,6 +97,41 @@ pub fn render_table1(rows: &[AppEvaluation]) -> String {
             row.classes,
             row.methods,
             row.injections
+        ));
+    }
+    out
+}
+
+/// Renders the run-health companion to Table 1: per-application outcome
+/// tallies, retries, and fuel consumption of the detection campaign. A row
+/// with a non-zero unhealthy count rests on a partial sweep.
+pub fn render_run_health(rows: &[AppEvaluation]) -> String {
+    let mut out = String::new();
+    out.push_str("Run health: campaign outcomes per application\n");
+    out.push_str(&format!(
+        "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12}\n",
+        "Lang", "Application", "completed", "diverged", "panicked", "skipped", "retries", "fuel"
+    ));
+    for row in rows {
+        let h = &row.health;
+        out.push_str(&format!(
+            "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12}\n",
+            row.lang.to_string(),
+            row.name,
+            h.completed,
+            h.diverged,
+            h.panicked,
+            h.skipped,
+            h.retries,
+            h.fuel_spent
+        ));
+    }
+    let unhealthy: u64 = rows.iter().map(|r| r.health.unhealthy()).sum();
+    if unhealthy == 0 {
+        out.push_str("all runs healthy: every classification rests on a full sweep\n");
+    } else {
+        out.push_str(&format!(
+            "{unhealthy} unhealthy runs: affected rows rest on partial sweeps\n"
         ));
     }
     out
@@ -218,6 +271,36 @@ mod tests {
         assert!(eval.injections >= 100);
         assert!(eval.calls > 0);
         assert_eq!(eval.method_counts.total() as usize, eval.methods);
+        assert_eq!(eval.health.unhealthy(), 0, "suite apps are healthy");
+        assert_eq!(eval.health.total(), eval.injections.min(100));
+    }
+
+    #[test]
+    fn run_health_table_reports_full_sweeps() {
+        let rows = vec![quick_eval("stdQ"), quick_eval("LinkedBuffer")];
+        let table = render_run_health(&rows);
+        assert!(table.contains("stdQ"));
+        assert!(table.contains("LinkedBuffer"));
+        assert!(table.contains("completed"));
+        assert!(
+            table.contains("all runs healthy"),
+            "suite apps sweep cleanly:\n{table}"
+        );
+    }
+
+    #[test]
+    fn evaluate_configured_meters_fuel() {
+        let spec = atomask_apps::all_apps()
+            .into_iter()
+            .find(|a| a.name == "stdQ")
+            .unwrap();
+        let config = CampaignConfig {
+            budget: atomask_mor::Budget::fuel(10_000_000),
+            ..CampaignConfig::default()
+        };
+        let eval = evaluate_configured(&spec, Some(20), config);
+        assert_eq!(eval.health.unhealthy(), 0);
+        assert!(eval.health.fuel_spent > 0, "budgeted runs meter fuel");
     }
 
     #[test]

@@ -1,17 +1,131 @@
 //! The experiment runner (step 3 of Fig. 1): execute the exception injector
 //! program once per potential injection point.
+//!
+//! ## Resilience
+//!
+//! A detection campaign over a real program meets programs that misbehave
+//! *under* injection: a retry loop that spins forever once its callee's
+//! failure is synthetic, or a body that panics on a state it was never
+//! meant to reach. The campaign isolates both so one pathological point
+//! cannot take down the whole sweep:
+//!
+//! * every run executes under a fuel [`Budget`]; a run the budget cuts off
+//!   is recorded as [`RunOutcome::Diverged`];
+//! * every run executes under `catch_unwind`; a host-level panic in an
+//!   application body is recorded as [`RunOutcome::Panicked`] for exactly
+//!   that run;
+//! * diverged and panicked runs are retried per [`RetryPolicy`] with a
+//!   scaled-up budget before their outcome is final;
+//! * after [`CampaignConfig::max_failures`] unhealthy runs, remaining
+//!   points are recorded as [`RunOutcome::Skipped`] instead of executed;
+//! * finished runs are appended to a [`CampaignJournal`], and
+//!   [`Campaign::resume`] restarts an interrupted sweep at the first
+//!   injection point the journal is missing.
 
 use crate::hook::InjectionHook;
+use crate::journal::CampaignJournal;
 use crate::marks::Mark;
-use atomask_mor::{CallHook, ExcId, HookChain, MethodId, Program, Registry, Vm};
+use atomask_mor::{Budget, CallHook, ExcId, HookChain, MethodId, Program, Registry, Vm};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 /// Factory producing the hook woven *inside* the injection wrappers.
 type InnerHookFactory = Box<dyn Fn(&Registry) -> Rc<RefCell<dyn CallHook>>>;
 
+/// How one injector run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The driver ran to completion — normally or with a propagating guest
+    /// exception (the expected ending of an injection run).
+    Completed,
+    /// The fuel budget was exhausted: the program did not terminate on its
+    /// own within the budget (even after any retries).
+    Diverged,
+    /// An application body panicked at the host level; the panic was
+    /// confined to this run.
+    Panicked,
+    /// Never executed: the campaign hit its `max_failures` cap before
+    /// reaching this point.
+    Skipped,
+}
+
+impl RunOutcome {
+    /// Stable lower-case name (used by the journal text format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Diverged => "diverged",
+            RunOutcome::Panicked => "panicked",
+            RunOutcome::Skipped => "skipped",
+        }
+    }
+
+    /// Inverse of [`RunOutcome::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(RunOutcome::Completed),
+            "diverged" => Some(RunOutcome::Diverged),
+            "panicked" => Some(RunOutcome::Panicked),
+            "skipped" => Some(RunOutcome::Skipped),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Retry discipline for unhealthy (diverged or panicked) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times an unhealthy run is re-executed before its outcome
+    /// is accepted.
+    pub max_retries: u32,
+    /// Fuel multiplier applied to the budget on every retry, so a run that
+    /// merely needed more fuel (rather than truly diverging) completes.
+    pub budget_multiplier: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            budget_multiplier: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: first outcome is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            budget_multiplier: 1,
+        }
+    }
+}
+
+/// Knobs governing a campaign's resilience behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignConfig {
+    /// Fuel budget of each injector run (and each retry's base, before
+    /// scaling). Defaults to [`Budget::unlimited`] — the paper's campaigns
+    /// assume terminating programs.
+    pub budget: Budget,
+    /// Retry discipline for diverged and panicked runs.
+    pub retry: RetryPolicy,
+    /// After this many unhealthy runs, remaining points are recorded as
+    /// [`RunOutcome::Skipped`] instead of executed. `None` (default) never
+    /// gives up.
+    pub max_failures: Option<u64>,
+}
+
 /// The outcome of one injector run (one `InjectionPoint` value).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// The `InjectionPoint` threshold of this run (1-based).
     pub injection_point: u64,
@@ -20,8 +134,92 @@ pub struct RunResult {
     pub injected: Option<(MethodId, ExcId)>,
     /// Atomicity marks in wrapper-execution order (callee→caller).
     pub marks: Vec<Mark>,
-    /// Rendered top-level exception, if one escaped the driver.
+    /// Rendered top-level exception, if one escaped the driver (or the
+    /// panic message, for panicked runs).
     pub top_error: Option<String>,
+    /// How the run ended. Only [`RunOutcome::Completed`] runs contribute
+    /// marks to classification.
+    pub outcome: RunOutcome,
+    /// Number of retries performed before this outcome was accepted.
+    pub retries: u32,
+    /// Fuel consumed by the final attempt.
+    pub fuel_spent: u64,
+}
+
+impl RunResult {
+    /// A run that was never executed (failure cap reached).
+    pub fn skipped(injection_point: u64) -> Self {
+        RunResult {
+            injection_point,
+            injected: None,
+            marks: Vec::new(),
+            top_error: None,
+            outcome: RunOutcome::Skipped,
+            retries: 0,
+            fuel_spent: 0,
+        }
+    }
+
+    /// `true` iff the run completed and its marks are trustworthy.
+    pub fn is_healthy(&self) -> bool {
+        self.outcome == RunOutcome::Completed
+    }
+}
+
+/// Aggregate run-health of a campaign: outcome tallies, retries, fuel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Runs that completed normally.
+    pub completed: u64,
+    /// Runs cut off by the fuel budget.
+    pub diverged: u64,
+    /// Runs ended by a host-level panic.
+    pub panicked: u64,
+    /// Points never executed (failure cap).
+    pub skipped: u64,
+    /// Total retry attempts across all runs.
+    pub retries: u64,
+    /// Total fuel consumed across final attempts.
+    pub fuel_spent: u64,
+}
+
+impl RunHealth {
+    /// Folds one run into the tally.
+    pub fn record(&mut self, run: &RunResult) {
+        match run.outcome {
+            RunOutcome::Completed => self.completed += 1,
+            RunOutcome::Diverged => self.diverged += 1,
+            RunOutcome::Panicked => self.panicked += 1,
+            RunOutcome::Skipped => self.skipped += 1,
+        }
+        self.retries += u64::from(run.retries);
+        self.fuel_spent += run.fuel_spent;
+    }
+
+    /// Runs that contributed no marks (diverged + panicked + skipped).
+    pub fn unhealthy(&self) -> u64 {
+        self.diverged + self.panicked + self.skipped
+    }
+
+    /// Total runs tallied.
+    pub fn total(&self) -> u64 {
+        self.completed + self.unhealthy()
+    }
+}
+
+impl std::fmt::Display for RunHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} completed, {} diverged, {} panicked, {} skipped ({} retries, {} fuel)",
+            self.completed,
+            self.diverged,
+            self.panicked,
+            self.skipped,
+            self.retries,
+            self.fuel_spent
+        )
+    }
 }
 
 /// The aggregated outcome of a full detection campaign.
@@ -29,8 +227,8 @@ pub struct RunResult {
 pub struct CampaignResult {
     /// Program name.
     pub program: String,
-    /// A representative registry (the program builds an identical one per
-    /// run) for resolving names in reports.
+    /// The registry shared by every run of the campaign (the program builds
+    /// identical registries, so one build serves the whole sweep).
     pub registry: Rc<Registry>,
     /// Total potential injection points `N` (Table 1's `#Injections`).
     pub total_points: u64,
@@ -56,6 +254,27 @@ impl CampaignResult {
             .filter(|(_, &c)| c > 0)
             .map(|(i, _)| MethodId::from_raw(i as u32))
     }
+
+    /// Run-health summary over all executed runs.
+    pub fn health(&self) -> RunHealth {
+        let mut h = RunHealth::default();
+        for run in &self.runs {
+            h.record(run);
+        }
+        h
+    }
+
+    /// Journal equivalent of this result, suitable for serialization and
+    /// for seeding [`Campaign::resume`].
+    pub fn journal(&self) -> CampaignJournal {
+        let mut j = CampaignJournal::new();
+        j.bind(&self.program);
+        j.record_baseline(self.total_points, &self.baseline_calls);
+        for run in &self.runs {
+            j.record_run(run.clone());
+        }
+        j
+    }
 }
 
 /// Builds and executes detection campaigns over a [`Program`].
@@ -63,11 +282,12 @@ impl CampaignResult {
 /// The campaign first performs a counting run (no injection) to size the
 /// sweep and collect baseline call statistics, then executes the program
 /// once per potential injection point with `InjectionPoint = 1..=N`, on a
-/// fresh VM each time.
+/// fresh VM each time (all VMs share one registry).
 pub struct Campaign<'p> {
     program: &'p dyn Program,
     inner_hook: Option<InnerHookFactory>,
     max_points: Option<u64>,
+    config: CampaignConfig,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -75,6 +295,7 @@ impl std::fmt::Debug for Campaign<'_> {
         f.debug_struct("Campaign")
             .field("program", &self.program.name())
             .field("capped", &self.max_points)
+            .field("config", &self.config)
             .finish()
     }
 }
@@ -86,6 +307,7 @@ impl<'p> Campaign<'p> {
             program,
             inner_hook: None,
             max_points: None,
+            config: CampaignConfig::default(),
         }
     }
 
@@ -110,40 +332,98 @@ impl<'p> Campaign<'p> {
         self
     }
 
+    /// Replaces the whole resilience configuration.
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the per-run fuel budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Sets the retry discipline for unhealthy runs.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Gives up (recording [`RunOutcome::Skipped`]) after `cap` unhealthy
+    /// runs.
+    pub fn max_failures(mut self, cap: u64) -> Self {
+        self.config.max_failures = Some(cap);
+        self
+    }
+
     /// Executes the campaign.
     pub fn run(&self) -> CampaignResult {
+        let mut scratch = CampaignJournal::new();
+        self.resume(&mut scratch)
+    }
+
+    /// Executes the campaign, reusing every run already present in
+    /// `journal` and appending each newly finished run to it. An empty
+    /// journal makes this identical to [`Campaign::run`]; a journal from an
+    /// interrupted sweep is completed from its first missing injection
+    /// point, reproducing the uninterrupted result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `journal` was recorded by a different program (host
+    /// error).
+    pub fn resume(&self, journal: &mut CampaignJournal) -> CampaignResult {
+        journal.bind(self.program.name());
         let registry = Rc::new(self.program.build_registry());
 
-        // Counting / baseline run.
-        let mut vm = Vm::new(self.program.build_registry());
-        let counter = Rc::new(RefCell::new(InjectionHook::counting()));
-        self.install(&mut vm, counter.clone());
-        let _ = self.program.run(&mut vm);
-        let total_points = counter.borrow().points();
-        let baseline_calls = vm.stats().calls.clone();
+        // Counting / baseline run, unless the journal already has it.
+        let (total_points, baseline_calls) = match journal.baseline() {
+            Some((points, calls)) => (points, calls.to_vec()),
+            None => {
+                let mut vm = Vm::from_shared_registry(registry.clone());
+                vm.set_budget(self.config.budget);
+                let counter = Rc::new(RefCell::new(InjectionHook::counting()));
+                self.install(&mut vm, counter.clone());
+                // The baseline gets the same isolation as injector runs: a
+                // program that panics or diverges even without injection
+                // still yields a (partially) sized campaign.
+                if catch_unwind(AssertUnwindSafe(|| self.program.run(&mut vm))).is_err() {
+                    eprintln!(
+                        "warning: baseline run of `{}` panicked; campaign sized from the points counted before the panic",
+                        self.program.name()
+                    );
+                }
+                vm.set_hook(None);
+                let total_points = counter.borrow().points();
+                let baseline_calls = vm.take_stats().calls;
+                journal.record_baseline(total_points, &baseline_calls);
+                (total_points, baseline_calls)
+            }
+        };
 
         let limit = self.max_points.unwrap_or(total_points).min(total_points);
         let mut runs = Vec::with_capacity(limit as usize);
+        let mut unhealthy = 0u64;
         for injection_point in 1..=limit {
-            let mut vm = Vm::new(self.program.build_registry());
-            let hook = Rc::new(RefCell::new(InjectionHook::with_injection_point(
-                injection_point,
-            )));
-            self.install(&mut vm, hook.clone());
-            let outcome = self.program.run(&mut vm);
-            // Release the VM's clone(s) of the hook (direct or via a
-            // HookChain) so the results can be moved out.
-            vm.set_hook(None);
-            drop(vm);
-            let hook = Rc::try_unwrap(hook)
-                .map(RefCell::into_inner)
-                .unwrap_or_else(|_| panic!("injection hook still shared after run"));
-            runs.push(RunResult {
-                injection_point,
-                injected: hook.injected(),
-                marks: hook.into_marks(),
-                top_error: outcome.err().map(|e| e.to_string()),
-            });
+            if let Some(done) = journal.run_for(injection_point) {
+                let done = done.clone();
+                if !done.is_healthy() {
+                    unhealthy += 1;
+                }
+                runs.push(done);
+                continue;
+            }
+            let run = if self.config.max_failures.is_some_and(|cap| unhealthy >= cap) {
+                RunResult::skipped(injection_point)
+            } else {
+                self.run_point(&registry, injection_point)
+            };
+            if !run.is_healthy() {
+                unhealthy += 1;
+            }
+            journal.record_run(run.clone());
+            runs.push(run);
         }
 
         CampaignResult {
@@ -152,6 +432,76 @@ impl<'p> Campaign<'p> {
             total_points,
             baseline_calls,
             runs,
+        }
+    }
+
+    /// Runs one injection point to a final outcome, retrying unhealthy runs
+    /// per the [`RetryPolicy`] with a scaled-up budget.
+    fn run_point(&self, registry: &Rc<Registry>, injection_point: u64) -> RunResult {
+        let mut budget = self.config.budget;
+        let mut attempt = 0u32;
+        loop {
+            let mut run = self.attempt_point(registry, injection_point, budget);
+            run.retries = attempt;
+            let retryable = matches!(run.outcome, RunOutcome::Diverged | RunOutcome::Panicked);
+            if !retryable || attempt >= self.config.retry.max_retries {
+                return run;
+            }
+            attempt += 1;
+            budget = budget.scaled(self.config.retry.budget_multiplier);
+        }
+    }
+
+    /// One isolated attempt at one injection point.
+    fn attempt_point(
+        &self,
+        registry: &Rc<Registry>,
+        injection_point: u64,
+        budget: Budget,
+    ) -> RunResult {
+        let mut vm = Vm::from_shared_registry(registry.clone());
+        vm.set_budget(budget);
+        let hook = Rc::new(RefCell::new(InjectionHook::with_injection_point(
+            injection_point,
+        )));
+        self.install(&mut vm, hook.clone());
+        // Panic isolation: a panicking application body unwinds out of
+        // `Program::run`; the VM is only inspected for fuel afterwards and
+        // then discarded, so AssertUnwindSafe is sound here.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.program.run(&mut vm)));
+        // Release the VM's clone(s) of the hook (direct or via a HookChain)
+        // so the results can be moved out.
+        vm.set_hook(None);
+        let diverged = vm.fuel_exhausted();
+        let fuel_spent = vm.fuel_spent();
+        drop(vm);
+        let hook = extract_hook_state(hook);
+        // An exhausted budget wins over how the run happened to end: both
+        // the guest `BudgetExhausted` exception reaching the driver and the
+        // escalation panic (when the program swallowed that exception and
+        // kept going) mean the run did not terminate on its own.
+        let (outcome, top_error) = match outcome {
+            _ if diverged => (
+                RunOutcome::Diverged,
+                match outcome {
+                    Ok(result) => result.err().map(|e| e.to_string()),
+                    Err(payload) => Some(format!("panic: {}", panic_message(payload.as_ref()))),
+                },
+            ),
+            Ok(result) => (RunOutcome::Completed, result.err().map(|e| e.to_string())),
+            Err(payload) => (
+                RunOutcome::Panicked,
+                Some(format!("panic: {}", panic_message(payload.as_ref()))),
+            ),
+        };
+        RunResult {
+            injection_point,
+            injected: hook.injected(),
+            marks: hook.into_marks(),
+            top_error,
+            outcome,
+            retries: 0,
+            fuel_spent,
         }
     }
 
@@ -164,6 +514,38 @@ impl<'p> Campaign<'p> {
                 vm.set_hook(Some(Rc::new(RefCell::new(chain))));
             }
         }
+    }
+}
+
+/// Recovers the injection hook's state after a run. The fast path takes
+/// sole ownership; if something still shares the `Rc` (a hook chain kept
+/// alive across a panic, say), the state is cloned out instead of aborting
+/// the whole campaign.
+fn extract_hook_state(hook: Rc<RefCell<InjectionHook>>) -> InjectionHook {
+    match Rc::try_unwrap(hook) {
+        Ok(cell) => cell.into_inner(),
+        Err(shared) => match shared.try_borrow() {
+            Ok(state) => {
+                eprintln!("warning: injection hook still shared after run; cloning its state");
+                state.clone()
+            }
+            Err(_) => {
+                eprintln!("warning: injection hook still borrowed after run; its marks are lost");
+                InjectionHook::counting()
+            }
+        },
+    }
+}
+
+/// Best-effort rendering of a panic payload (the two shapes `panic!`
+/// produces, then a generic fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
 }
 
@@ -198,6 +580,68 @@ mod tests {
         )
     }
 
+    /// A program that is healthy on its own but has one diverging and one
+    /// panicking injection point. The custom profile has a single runtime
+    /// exception, so each dynamic call is exactly one potential point
+    /// (5 total): injecting into `commit` (point 2) leaks the lock and the
+    /// driver's retry loop spins forever; injecting into `probe` (point 4)
+    /// makes `strict` panic. Points 1, 3 and 5 complete normally.
+    fn pathological_program() -> FnProgram {
+        FnProgram::new(
+            "pathological",
+            || {
+                let mut profile = Profile::cpp();
+                profile.runtime_exceptions = vec!["Fault".to_owned()];
+                let mut rb = RegistryBuilder::new(profile);
+                rb.exception("StateError");
+                rb.class("P", |c| {
+                    c.field("locked", Value::Bool(false));
+                    c.field("done", Value::Int(0));
+                    c.method("transact", |ctx, this, _| {
+                        if ctx.get_bool(this, "locked") {
+                            return Err(ctx.exception("StateError", "still locked"));
+                        }
+                        ctx.set(this, "locked", Value::Bool(true));
+                        // Non-atomic: an exception here leaks the lock.
+                        ctx.call(this, "commit", &[])?;
+                        ctx.set(this, "locked", Value::Bool(false));
+                        Ok(Value::Null)
+                    });
+                    c.method("commit", |_, _, _| Ok(Value::Null));
+                    c.method("strict", |ctx, this, _| {
+                        if ctx.call(this, "probe", &[]).is_err() {
+                            panic!("invariant violated: probe can never fail");
+                        }
+                        Ok(Value::Null)
+                    });
+                    c.method("probe", |_, _, _| Ok(Value::Null));
+                    c.method("calm", |ctx, this, _| {
+                        let d = ctx.get_int(this, "done");
+                        ctx.set(this, "done", Value::Int(d + 1));
+                        Ok(Value::Null)
+                    });
+                });
+                rb.build()
+            },
+            |vm| {
+                let p = vm.construct("P", &[])?;
+                vm.root(p);
+                // Application-level retry loop: swallows failures and tries
+                // again. Once the injected failure leaks the lock, every
+                // retry throws `StateError` and only the fuel budget ends
+                // the run.
+                loop {
+                    match vm.call(p, "transact", &[]) {
+                        Ok(_) => break,
+                        Err(_) => continue,
+                    }
+                }
+                let _ = vm.call(p, "strict", &[]);
+                vm.call(p, "calm", &[])
+            },
+        )
+    }
+
     #[test]
     fn campaign_runs_once_per_point() {
         let p = two_level_program();
@@ -209,6 +653,9 @@ mod tests {
             assert_eq!(run.injection_point, i as u64 + 1);
             assert!(run.injected.is_some());
             assert!(run.top_error.is_some(), "injected exception escapes");
+            assert_eq!(run.outcome, RunOutcome::Completed);
+            assert_eq!(run.retries, 0);
+            assert!(run.fuel_spent > 0);
         }
     }
 
@@ -248,5 +695,133 @@ mod tests {
         let result = Campaign::new(&p).max_points(2).run();
         assert_eq!(result.total_points, 4);
         assert_eq!(result.injections(), 2);
+    }
+
+    #[test]
+    fn pathological_sweep_completes_with_isolated_failures() {
+        let p = pathological_program();
+        let result = Campaign::new(&p)
+            .budget(Budget::fuel(20_000))
+            .retry(RetryPolicy {
+                max_retries: 1,
+                budget_multiplier: 2,
+            })
+            .run();
+        // The full sweep ran despite the diverging and panicking points.
+        assert_eq!(result.injections() as u64, result.total_points);
+        let health = result.health();
+        assert_eq!(health.diverged, 1, "{health}");
+        assert_eq!(health.panicked, 1, "{health}");
+        assert_eq!(health.skipped, 0, "{health}");
+        assert_eq!(health.completed + 2, result.total_points, "{health}");
+        // Both unhealthy points were retried to the policy's limit.
+        assert_eq!(health.retries, 2, "{health}");
+        let diverged = result
+            .runs
+            .iter()
+            .find(|r| r.outcome == RunOutcome::Diverged)
+            .unwrap();
+        assert_eq!(
+            result.registry.method_display(diverged.injected.unwrap().0),
+            "P::commit",
+            "injecting into commit leaks the lock and spins the driver"
+        );
+        let panicked = result
+            .runs
+            .iter()
+            .find(|r| r.outcome == RunOutcome::Panicked)
+            .unwrap();
+        assert!(panicked.top_error.as_deref().unwrap().contains("invariant"));
+    }
+
+    #[test]
+    fn retries_scale_the_budget() {
+        // A 60-fuel budget covers the (healthy) baseline but not the
+        // spinning retry loop; retries at 8x each reach 3840 fuel — still
+        // not enough for an infinite loop, so the point stays Diverged,
+        // with every retry recorded.
+        let p = pathological_program();
+        let result = Campaign::new(&p)
+            .budget(Budget::fuel(60))
+            .retry(RetryPolicy {
+                max_retries: 2,
+                budget_multiplier: 8,
+            })
+            .run();
+        let worst = result
+            .runs
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::Diverged)
+            .map(|r| r.retries)
+            .max()
+            .unwrap();
+        assert_eq!(worst, 2);
+    }
+
+    #[test]
+    fn max_failures_skips_the_tail() {
+        let p = pathological_program();
+        let result = Campaign::new(&p)
+            .budget(Budget::fuel(500))
+            .retry(RetryPolicy::none())
+            .max_failures(1)
+            .run();
+        let health = result.health();
+        assert!(health.skipped > 0, "{health}");
+        // Everything after the first unhealthy run is Skipped.
+        let first_bad = result
+            .runs
+            .iter()
+            .position(|r| !r.is_healthy())
+            .expect("the pathological program has unhealthy runs");
+        for run in &result.runs[first_bad + 1..] {
+            assert_eq!(run.outcome, RunOutcome::Skipped);
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_an_uninterrupted_sweep() {
+        let p = pathological_program();
+        let campaign = || {
+            Campaign::new(&p)
+                .budget(Budget::fuel(20_000))
+                .retry(RetryPolicy::none())
+        };
+        let full = campaign().run();
+
+        // Interrupt after roughly half the runs.
+        let mut journal = full.journal();
+        journal.truncate_runs(full.runs.len() / 2);
+        let resumed = campaign().resume(&mut journal);
+
+        assert_eq!(resumed.total_points, full.total_points);
+        assert_eq!(resumed.baseline_calls, full.baseline_calls);
+        assert_eq!(resumed.runs, full.runs, "resume is bit-for-bit");
+        // The journal is now complete: resuming again re-runs nothing and
+        // still agrees.
+        let again = campaign().resume(&mut journal);
+        assert_eq!(again.runs, full.runs);
+    }
+
+    #[test]
+    #[should_panic(expected = "journal")]
+    fn resume_rejects_a_foreign_journal() {
+        let two = two_level_program();
+        let mut journal = Campaign::new(&two).run().journal();
+        let p = pathological_program();
+        let _ = Campaign::new(&p).resume(&mut journal);
+    }
+
+    #[test]
+    fn journal_round_trips_through_text() {
+        let p = pathological_program();
+        let result = Campaign::new(&p)
+            .budget(Budget::fuel(20_000))
+            .retry(RetryPolicy::none())
+            .run();
+        let journal = result.journal();
+        let text = journal.serialize();
+        let parsed = CampaignJournal::parse(&text).expect("serialized journal parses");
+        assert_eq!(parsed, journal);
     }
 }

@@ -15,7 +15,7 @@
 //!   *exception-free* are discounted before classification ([`MarkFilter`],
 //!   §4.3's web-interface reclassification).
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{CampaignResult, RunHealth};
 use atomask_mor::MethodId;
 use std::collections::HashSet;
 
@@ -147,6 +147,10 @@ pub struct Classification {
     pub classes: Vec<ClassRollup>,
     /// Counts over classes (Fig. 4).
     pub class_counts: ClassVerdictCounts,
+    /// Run-health of the underlying campaign. Unhealthy (diverged,
+    /// panicked, skipped) runs contribute no marks to the verdicts above;
+    /// this field reports how much of the sweep they were.
+    pub health: RunHealth,
 }
 
 impl Classification {
@@ -189,6 +193,12 @@ pub fn classify(result: &CampaignResult, filter: &MarkFilter) -> Classification 
     let mut pure: HashSet<MethodId> = HashSet::new();
 
     for run in &result.runs {
+        if !run.is_healthy() {
+            // A diverged, panicked, or skipped run yields no trustworthy
+            // before/after comparison: contribute no marks, but stay
+            // visible through `Classification::health`.
+            continue;
+        }
         if let Some((target, _)) = run.injected {
             if filter.exception_free.contains(&target) {
                 // The programmer ruled this exception out: discount the
@@ -297,6 +307,7 @@ pub fn classify(result: &CampaignResult, filter: &MarkFilter) -> Classification 
         call_counts,
         classes,
         class_counts,
+        health: result.health(),
     }
 }
 
@@ -345,10 +356,14 @@ mod tests {
                 vm.root(leaf);
                 let mid = vm.construct("Mid", &[])?;
                 vm.root(mid);
-                vm.heap_mut().set_field(mid, "leaf", Value::Ref(leaf)).unwrap();
+                vm.heap_mut()
+                    .set_field(mid, "leaf", Value::Ref(leaf))
+                    .unwrap();
                 let top = vm.construct("Top", &[])?;
                 vm.root(top);
-                vm.heap_mut().set_field(top, "mid", Value::Ref(mid)).unwrap();
+                vm.heap_mut()
+                    .set_field(top, "mid", Value::Ref(mid))
+                    .unwrap();
                 vm.call(top, "go", &[])
             },
         )

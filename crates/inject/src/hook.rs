@@ -2,7 +2,7 @@
 
 use crate::marks::Mark;
 use atomask_mor::{
-    CallHook, CallSite, Exception, ExcId, HookGuard, MethodId, MethodResult, ObjId, Vm,
+    CallHook, CallSite, ExcId, Exception, HookGuard, MethodId, MethodResult, ObjId, Vm,
 };
 use atomask_objgraph::Snapshot;
 
@@ -21,8 +21,10 @@ use atomask_objgraph::Snapshot;
 ///   `mark(m, atomic|nonatomic, InjectionPoint)` record before rethrowing.
 ///
 /// One hook instance corresponds to one run of the injector program; the
-/// campaign creates a fresh hook (and VM) per injection point.
-#[derive(Debug)]
+/// campaign creates a fresh hook (and VM) per injection point. The hook is
+/// `Clone` so the campaign can salvage its state even if something still
+/// shares the `Rc` after a run.
+#[derive(Debug, Clone)]
 pub struct InjectionHook {
     point: u64,
     injection_point: Option<u64>,

@@ -69,15 +69,19 @@ mod analyzer;
 mod campaign;
 mod classify;
 mod hook;
+mod journal;
 mod marks;
 mod suggest;
 
 pub use analyzer::{method_injection_plan, InjectionPlan};
-pub use campaign::{Campaign, CampaignResult, RunResult};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignResult, RetryPolicy, RunHealth, RunOutcome, RunResult,
+};
 pub use classify::{
     classify, ClassRollup, ClassVerdictCounts, Classification, MarkFilter, MethodClassification,
     Verdict, VerdictCounts,
 };
 pub use hook::InjectionHook;
+pub use journal::{CampaignJournal, JournalParseError};
 pub use marks::Mark;
 pub use suggest::suggest_exception_free;

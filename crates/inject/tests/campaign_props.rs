@@ -1,40 +1,64 @@
 //! Property tests of the campaign machinery: injection-point arithmetic,
-//! determinism, and exactly-once injection.
+//! determinism, exactly-once injection, and resilience invariants
+//! (budgeted sweeps, journal round-trips, bit-for-bit resume).
 
-use atomask_inject::{classify, Campaign, MarkFilter};
-use atomask_mor::{FnProgram, Profile, RegistryBuilder, Value};
+use atomask_inject::{classify, Campaign, CampaignConfig, CampaignJournal, MarkFilter, RunOutcome};
+use atomask_mor::{Budget, FnProgram, Profile, RegistryBuilder, Value};
 use proptest::prelude::*;
+
+/// Registry for the configurable call tree: `fanout` children per `spin`
+/// call, each method declaring `extra_exc` exceptions.
+fn tree_registry(fanout: u8, extra_exc: u8) -> atomask_mor::Registry {
+    let mut rb = RegistryBuilder::new(Profile::java());
+    rb.class("T", |c| {
+        c.field("work", Value::Int(0));
+        let mut cfg = c.method("spin", move |ctx, this, args| {
+            let level = args[0].as_int().unwrap_or(0);
+            if level > 0 {
+                for _ in 0..fanout {
+                    ctx.call(this, "spin", &[Value::Int(level - 1)])?;
+                }
+            }
+            let w = ctx.get_int(this, "work");
+            ctx.set(this, "work", Value::Int(w + 1));
+            Ok(Value::Null)
+        });
+        for e in 0..extra_exc {
+            cfg.throws(&format!("E{e}"));
+        }
+    });
+    rb.build()
+}
 
 /// A program with a configurable call tree: `fanout` children per call,
 /// `depth` levels, each method declaring `extra_exc` exceptions.
 fn tree_program(depth: u8, fanout: u8, extra_exc: u8) -> FnProgram {
     FnProgram::new(
         "tree",
-        move || {
-            let mut rb = RegistryBuilder::new(Profile::java());
-            rb.class("T", |c| {
-                c.field("work", Value::Int(0));
-                let mut cfg = c.method("spin", move |ctx, this, args| {
-                    let level = args[0].as_int().unwrap_or(0);
-                    if level > 0 {
-                        for _ in 0..fanout {
-                            ctx.call(this, "spin", &[Value::Int(level - 1)])?;
-                        }
-                    }
-                    let w = ctx.get_int(this, "work");
-                    ctx.set(this, "work", Value::Int(w + 1));
-                    Ok(Value::Null)
-                });
-                for e in 0..extra_exc {
-                    cfg.throws(&format!("E{e}"));
-                }
-            });
-            rb.build()
-        },
+        move || tree_registry(fanout, extra_exc),
         move |vm| {
             let t = vm.construct("T", &[])?;
             vm.root(t);
             vm.call(t, "spin", &[Value::Int(depth as i64)])
+        },
+    )
+}
+
+/// The same tree under an application-level retry driver that swallows
+/// failures and tries again: a run either completes or is cut off by the
+/// fuel budget — nothing else can end it.
+fn retrying_tree_program(depth: u8, fanout: u8) -> FnProgram {
+    FnProgram::new(
+        "retry-tree",
+        move || tree_registry(fanout, 0),
+        move |vm| {
+            let t = vm.construct("T", &[])?;
+            vm.root(t);
+            loop {
+                if vm.call(t, "spin", &[Value::Int(depth as i64)]).is_ok() {
+                    return Ok(Value::Null);
+                }
+            }
         },
     )
 }
@@ -117,5 +141,82 @@ proptest! {
         let c = classify(&result, &MarkFilter::default());
         let used = result.used_methods().count() as u64;
         prop_assert_eq!(c.method_counts.total(), used);
+    }
+
+    /// A generous fuel budget never changes the outcome of a terminating
+    /// program: every run completes, no retries are spent, and fuel is
+    /// metered on every run.
+    #[test]
+    fn generous_budgets_are_invisible(depth in 0u8..3, fanout in 1u8..3) {
+        let p = tree_program(depth, fanout, 1);
+        let unlimited = Campaign::new(&p).run();
+        let budgeted = Campaign::new(&p)
+            .budget(Budget::fuel(1_000_000))
+            .run();
+        prop_assert_eq!(&budgeted.runs, &unlimited.runs);
+        let health = budgeted.health();
+        prop_assert_eq!(health.completed, budgeted.total_points);
+        prop_assert_eq!(health.unhealthy(), 0);
+        prop_assert_eq!(health.retries, 0);
+        prop_assert!(health.fuel_spent > 0);
+    }
+
+    /// Resuming from a journal truncated at *any* prefix length reproduces
+    /// the uninterrupted sweep bit-for-bit.
+    #[test]
+    fn resume_from_any_prefix_is_bit_for_bit(
+        depth in 0u8..3,
+        fanout in 1u8..3,
+        cut_pct in 0u8..101,
+    ) {
+        let p = tree_program(depth, fanout, 1);
+        let config = CampaignConfig {
+            budget: Budget::fuel(1_000_000),
+            ..CampaignConfig::default()
+        };
+        let full = Campaign::new(&p).config(config).run();
+        let keep = full.runs.len() * cut_pct as usize / 100;
+        let mut journal = full.journal();
+        journal.truncate_runs(keep);
+        let resumed = Campaign::new(&p).config(config).resume(&mut journal);
+        prop_assert_eq!(&resumed.runs, &full.runs);
+        prop_assert_eq!(journal.len(), full.runs.len(), "journal backfilled");
+    }
+
+    /// The journal text format round-trips every campaign it records.
+    #[test]
+    fn journal_text_format_round_trips(depth in 0u8..3, fanout in 1u8..3, extra in 0u8..2) {
+        let p = tree_program(depth, fanout, extra);
+        let result = Campaign::new(&p).run();
+        let journal = result.journal();
+        let reparsed = CampaignJournal::parse(&journal.serialize());
+        prop_assert!(reparsed.is_ok(), "{:?}", reparsed.err());
+        prop_assert_eq!(reparsed.unwrap(), journal);
+    }
+
+    /// A retrying driver turns every injected failure into another full
+    /// tree walk, so a starved budget must cut runs off: the sweep still
+    /// covers every counted point, marks those runs diverged (never
+    /// panicked — the escalation stays inside the campaign), and completes
+    /// rather than hanging.
+    #[test]
+    fn starved_budgets_degrade_to_diverged(depth in 1u8..3, fanout in 2u8..3) {
+        let p = retrying_tree_program(depth, fanout);
+        let config = CampaignConfig {
+            budget: Budget::fuel(3),
+            retry: atomask_inject::RetryPolicy::none(),
+            max_failures: None,
+        };
+        let result = Campaign::new(&p).config(config).run();
+        prop_assert_eq!(result.runs.len() as u64, result.total_points);
+        for run in &result.runs {
+            prop_assert!(
+                matches!(run.outcome, RunOutcome::Completed | RunOutcome::Diverged),
+                "run {}: {:?}",
+                run.injection_point,
+                run.outcome
+            );
+        }
+        prop_assert!(result.health().diverged > 0, "retrying past exhaustion diverges");
     }
 }

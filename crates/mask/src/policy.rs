@@ -134,10 +134,14 @@ mod tests {
                 vm.root(leaf);
                 let mid = vm.construct("Mid", &[])?;
                 vm.root(mid);
-                vm.heap_mut().set_field(mid, "leaf", Value::Ref(leaf)).unwrap();
+                vm.heap_mut()
+                    .set_field(mid, "leaf", Value::Ref(leaf))
+                    .unwrap();
                 let top = vm.construct("Top", &[])?;
                 vm.root(top);
-                vm.heap_mut().set_field(top, "mid", Value::Ref(mid)).unwrap();
+                vm.heap_mut()
+                    .set_field(top, "mid", Value::Ref(mid))
+                    .unwrap();
                 vm.call(top, "go", &[])
             },
         )

@@ -10,7 +10,7 @@
 
 use crate::hook::MaskingHook;
 use crate::undo::UndoMaskingHook;
-use atomask_inject::{classify, Campaign, Classification, MarkFilter};
+use atomask_inject::{classify, Campaign, CampaignConfig, Classification, MarkFilter};
 use atomask_mor::{CallHook, MethodId, Program};
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -50,20 +50,45 @@ pub fn verify_masked_with(
     filter: &MarkFilter,
     strategy: MaskStrategy,
 ) -> Classification {
+    verify_masked_configured(
+        program,
+        mask_set,
+        filter,
+        strategy,
+        CampaignConfig::default(),
+        None,
+    )
+}
+
+/// [`verify_masked_with`] under an explicit [`CampaignConfig`] (fuel
+/// budget, retry policy, failure cap) and an optional injection-point cap.
+///
+/// The resulting [`Classification::health`] reports how much of the
+/// verification sweep was diverged, panicked, or skipped — a verification
+/// whose unhealthy share is non-zero is a *partial* verification.
+pub fn verify_masked_configured(
+    program: &dyn Program,
+    mask_set: &HashSet<MethodId>,
+    filter: &MarkFilter,
+    strategy: MaskStrategy,
+    config: CampaignConfig,
+    cap: Option<u64>,
+) -> Classification {
     let mask_set = mask_set.clone();
-    let result = Campaign::new(program)
+    let mut campaign = Campaign::new(program)
         .with_inner_hook(move |_registry| -> Rc<RefCell<dyn CallHook>> {
             match strategy {
-                MaskStrategy::DeepCopy => {
-                    Rc::new(RefCell::new(MaskingHook::new(mask_set.clone())))
-                }
+                MaskStrategy::DeepCopy => Rc::new(RefCell::new(MaskingHook::new(mask_set.clone()))),
                 MaskStrategy::UndoLog => {
                     Rc::new(RefCell::new(UndoMaskingHook::new(mask_set.clone())))
                 }
             }
         })
-        .run();
-    classify(&result, filter)
+        .config(config);
+    if let Some(cap) = cap {
+        campaign = campaign.max_points(cap);
+    }
+    classify(&campaign.run(), filter)
 }
 
 #[cfg(test)]
@@ -147,12 +172,8 @@ mod tests {
         let policy = Policy::default();
         let c = classify(&detection, &policy.mark_filter());
         let mask_set = policy.mask_set(&c);
-        let verified = verify_masked_with(
-            &p,
-            &mask_set,
-            &policy.mark_filter(),
-            MaskStrategy::UndoLog,
-        );
+        let verified =
+            verify_masked_with(&p, &mask_set, &policy.mark_filter(), MaskStrategy::UndoLog);
         assert_eq!(verified.method_counts.pure_nonatomic, 0, "{verified:#?}");
         assert_eq!(verified.method_counts.conditional, 0, "{verified:#?}");
     }
@@ -167,7 +188,10 @@ mod tests {
             verified.method_counts.pure_nonatomic,
             c.method_counts.pure_nonatomic
         );
-        assert_eq!(verified.method_counts.conditional, c.method_counts.conditional);
+        assert_eq!(
+            verified.method_counts.conditional,
+            c.method_counts.conditional
+        );
     }
 
     #[test]

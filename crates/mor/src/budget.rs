@@ -1,0 +1,234 @@
+//! Execution fuel budgets: bounded-cost runs for the detection campaigns.
+//!
+//! The paper's detection phase (§5) notes that an injected exception can
+//! make a program diverge — a retry loop that keeps retrying a call whose
+//! failure was synthetic, for example — and leaves cutting such runs off as
+//! a limitation. The runtime closes that gap mechanically: a [`Budget`]
+//! charges **fuel** for every dispatched call and every guest heap
+//! operation, and when the fuel is gone the next dispatched call aborts
+//! with the distinguished `BudgetExhausted` guest exception instead of
+//! hanging the harness.
+//!
+//! The exception is deliberately a *guest* exception: it propagates through
+//! the woven wrappers like any other (so atomicity wrappers still roll
+//! back), reaches the driver as an `Err`, and the campaign layer classifies
+//! the run as diverged rather than crediting its partial marks.
+
+/// A fuel budget for one VM run.
+///
+/// Fuel is charged per dispatched call (`call_cost`, default 1) and per
+/// guest heap operation — field reads/writes and allocations performed
+/// through [`crate::Ctx`] or the VM's driver API (`heap_op_cost`, default
+/// 1). [`Budget::unlimited`] (the default) never exhausts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    fuel: Option<u64>,
+    call_cost: u64,
+    heap_op_cost: u64,
+}
+
+impl Budget {
+    /// No limit: the VM never aborts a run (the pre-resilience behaviour).
+    pub const fn unlimited() -> Self {
+        Budget {
+            fuel: None,
+            call_cost: 1,
+            heap_op_cost: 1,
+        }
+    }
+
+    /// A budget of `fuel` steps at the default costs.
+    pub const fn fuel(fuel: u64) -> Self {
+        Budget {
+            fuel: Some(fuel),
+            call_cost: 1,
+            heap_op_cost: 1,
+        }
+    }
+
+    /// Overrides the fuel charged per dispatched call.
+    pub const fn call_cost(mut self, cost: u64) -> Self {
+        self.call_cost = cost;
+        self
+    }
+
+    /// Overrides the fuel charged per guest heap operation.
+    pub const fn heap_op_cost(mut self, cost: u64) -> Self {
+        self.heap_op_cost = cost;
+        self
+    }
+
+    /// The fuel limit, if any.
+    pub const fn limit(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Fuel charged per dispatched call.
+    pub const fn per_call(&self) -> u64 {
+        self.call_cost
+    }
+
+    /// Fuel charged per guest heap operation.
+    pub const fn per_heap_op(&self) -> u64 {
+        self.heap_op_cost
+    }
+
+    /// `true` iff this budget can exhaust at all.
+    pub const fn is_limited(&self) -> bool {
+        self.fuel.is_some()
+    }
+
+    /// A budget with the same costs and `factor`× the fuel (saturating);
+    /// the retry policy's "try again with a larger budget".
+    pub const fn scaled(self, factor: u64) -> Self {
+        Budget {
+            fuel: match self.fuel {
+                None => None,
+                Some(f) => Some(f.saturating_mul(factor)),
+            },
+            ..self
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// Running fuel account of one VM.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FuelMeter {
+    budget: Budget,
+    spent: u64,
+    exhausted: bool,
+    reported: bool,
+}
+
+impl FuelMeter {
+    pub(crate) fn new(budget: Budget) -> Self {
+        FuelMeter {
+            budget,
+            spent: 0,
+            exhausted: false,
+            reported: false,
+        }
+    }
+
+    pub(crate) fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    pub(crate) fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    pub(crate) fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// `true` once the exhaustion has been delivered to the guest as a
+    /// `BudgetExhausted` exception. Any guest activity after that point is
+    /// a program ignoring its abort — the dispatcher escalates to a panic.
+    pub(crate) fn reported(&self) -> bool {
+        self.reported
+    }
+
+    /// Records that the guest was handed the `BudgetExhausted` exception.
+    pub(crate) fn mark_reported(&mut self) {
+        self.reported = true;
+    }
+
+    /// Charges one dispatched call; returns `false` once the budget is
+    /// exhausted (the dispatcher turns that into `BudgetExhausted`).
+    pub(crate) fn charge_call(&mut self) -> bool {
+        self.charge(self.budget.per_call())
+    }
+
+    /// Charges one guest heap operation. Heap ops never abort mid-body
+    /// (bodies cannot observe exhaustion between two field writes); the
+    /// overdraft is detected at the next dispatched call.
+    pub(crate) fn charge_heap_op(&mut self) {
+        self.charge(self.budget.per_heap_op());
+    }
+
+    fn charge(&mut self, cost: u64) -> bool {
+        self.spent = self.spent.saturating_add(cost);
+        if let Some(limit) = self.budget.limit() {
+            if self.spent > limit {
+                self.exhausted = true;
+            }
+        }
+        !self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut meter = FuelMeter::new(Budget::unlimited());
+        for _ in 0..10_000 {
+            assert!(meter.charge_call());
+            meter.charge_heap_op();
+        }
+        assert!(!meter.exhausted());
+        assert_eq!(meter.spent(), 20_000);
+    }
+
+    #[test]
+    fn limited_budget_trips_exactly_once_overdrawn() {
+        let mut meter = FuelMeter::new(Budget::fuel(3));
+        assert!(meter.charge_call());
+        assert!(meter.charge_call());
+        assert!(meter.charge_call());
+        assert!(
+            !meter.charge_call(),
+            "fourth step overdraws a 3-step budget"
+        );
+        assert!(meter.exhausted());
+    }
+
+    #[test]
+    fn heap_ops_count_toward_the_same_pool() {
+        let mut meter = FuelMeter::new(Budget::fuel(2));
+        meter.charge_heap_op();
+        meter.charge_heap_op();
+        meter.charge_heap_op();
+        assert!(meter.exhausted(), "heap ops alone can exhaust");
+    }
+
+    #[test]
+    fn reporting_is_explicit_and_sticky() {
+        let mut meter = FuelMeter::new(Budget::fuel(1));
+        meter.charge_heap_op();
+        meter.charge_heap_op();
+        assert!(meter.exhausted());
+        assert!(!meter.reported(), "exhaustion alone is not yet reported");
+        meter.mark_reported();
+        assert!(meter.reported());
+    }
+
+    #[test]
+    fn costs_are_configurable() {
+        let budget = Budget::fuel(10).call_cost(5).heap_op_cost(0);
+        let mut meter = FuelMeter::new(budget);
+        meter.charge_heap_op();
+        assert_eq!(meter.spent(), 0);
+        assert!(meter.charge_call());
+        assert!(meter.charge_call());
+        assert!(!meter.charge_call());
+    }
+
+    #[test]
+    fn scaling_multiplies_fuel_only() {
+        let budget = Budget::fuel(100).call_cost(2);
+        let grown = budget.scaled(4);
+        assert_eq!(grown.limit(), Some(400));
+        assert_eq!(grown.per_call(), 2);
+        assert_eq!(Budget::unlimited().scaled(7), Budget::unlimited());
+    }
+}

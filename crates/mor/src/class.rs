@@ -19,7 +19,6 @@ pub type MethodBody = Rc<dyn Fn(&mut Ctx<'_>, ObjId, &[Value]) -> MethodResult>;
 /// Name under which constructors are registered in the method table.
 pub const CTOR_NAME: &str = "<init>";
 
-
 /// A field of a class: a name and the default value fresh instances start
 /// with.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,6 +41,7 @@ impl<'vm> Ctx<'vm> {
     ///
     /// Panics if `obj` is dead or has no field `name`.
     pub fn get(&mut self, obj: ObjId, name: &str) -> Value {
+        self.vm.charge_heap_op();
         let v = self
             .vm
             .heap()
@@ -107,6 +108,7 @@ impl<'vm> Ctx<'vm> {
     ///
     /// Panics if `obj` is dead or has no field `name`.
     pub fn set(&mut self, obj: ObjId, name: &str, value: Value) {
+        self.vm.charge_heap_op();
         self.vm
             .heap_mut()
             .set_field(obj, name, value)
@@ -200,9 +202,7 @@ mod tests {
         Vm::new(rb.build())
     }
 
-    fn with_body(
-        test: impl Fn(&mut Ctx<'_>, ObjId) -> MethodResult + 'static,
-    ) -> (Vm, ObjId) {
+    fn with_body(test: impl Fn(&mut Ctx<'_>, ObjId) -> MethodResult + 'static) -> (Vm, ObjId) {
         let mut rb = RegistryBuilder::new(Profile::java());
         rb.class("T", |c| {
             c.field("item", Value::Null);

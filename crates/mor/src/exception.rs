@@ -33,7 +33,9 @@ pub struct Exception {
     /// id; rethrowing (cloning/returning the same value) preserves it. The
     /// classifier uses this to find the first method marked non-atomic
     /// *per propagation chain* (Def. 3's pure/conditional rule), even when
-    /// a single program run sees several independent exceptions.
+    /// a single program run sees several independent exceptions. Ids are
+    /// unique within one VM's lifetime (the counter restarts per VM, so
+    /// identical runs produce identical records).
     pub chain: u64,
 }
 
@@ -47,6 +49,15 @@ fn fresh_chain() -> u64 {
         c.set(id + 1);
         id
     })
+}
+
+/// Restarts the chain counter at 1. Called whenever a fresh [`crate::Vm`]
+/// is created: chain ids only need to be unique within one VM's lifetime
+/// (the classifier groups marks per run), and resetting makes every run's
+/// records — and therefore campaign journals — deterministic instead of
+/// dependent on how many exceptions the process created before.
+pub(crate) fn reset_chains() {
+    NEXT_CHAIN.with(|c| c.set(1));
 }
 
 impl Exception {
@@ -99,10 +110,16 @@ impl ExceptionTable {
     /// Name of the always-present null-dereference exception.
     pub const NULL_POINTER: &'static str = "NullPointerException";
 
+    /// Name of the always-present fuel-exhaustion exception thrown by the
+    /// VM when a [`crate::Budget`] runs out (never injected, never part of
+    /// a profile's runtime-exception set).
+    pub const BUDGET_EXHAUSTED: &'static str = "BudgetExhausted";
+
     /// Creates a table pre-populated with the universal exception types.
     pub fn new() -> Self {
         let mut t = ExceptionTable::default();
         t.intern(Self::NULL_POINTER);
+        t.intern(Self::BUDGET_EXHAUSTED);
         t
     }
 
@@ -167,9 +184,10 @@ mod tests {
     }
 
     #[test]
-    fn null_pointer_is_preinterned() {
+    fn universal_types_are_preinterned() {
         let t = ExceptionTable::new();
         assert!(t.lookup(ExceptionTable::NULL_POINTER).is_some());
+        assert!(t.lookup(ExceptionTable::BUDGET_EXHAUSTED).is_some());
         assert!(!t.is_empty());
     }
 
@@ -200,6 +218,14 @@ mod tests {
         t.intern("A");
         t.intern("B");
         let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
-        assert_eq!(names, vec![ExceptionTable::NULL_POINTER, "A", "B"]);
+        assert_eq!(
+            names,
+            vec![
+                ExceptionTable::NULL_POINTER,
+                ExceptionTable::BUDGET_EXHAUSTED,
+                "A",
+                "B"
+            ]
+        );
     }
 }

@@ -173,11 +173,7 @@ impl Heap {
     ///
     /// Returns [`MorError::DeadObject`] or [`MorError::UnknownField`].
     pub fn set_field(&mut self, id: ObjId, name: &str, value: Value) -> Result<(), MorError> {
-        let class_id = self
-            .objects
-            .get(&id)
-            .ok_or(MorError::DeadObject(id))?
-            .class;
+        let class_id = self.objects.get(&id).ok_or(MorError::DeadObject(id))?.class;
         let class = self.registry.class(class_id);
         let slot = class
             .field_slot(name)
@@ -382,7 +378,10 @@ impl Heap {
     ///
     /// Panics if no layer is open.
     pub fn commit_journal(&mut self) {
-        let inner = self.journals.pop().expect("commit_journal: no open journal");
+        let inner = self
+            .journals
+            .pop()
+            .expect("commit_journal: no open journal");
         if let Some(outer) = self.journals.last_mut() {
             outer.writes.extend(inner.writes);
             outer.allocs.extend(inner.allocs);

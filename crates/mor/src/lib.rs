@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod class;
 mod ctx;
 mod error;
@@ -78,6 +79,7 @@ mod registry;
 mod value;
 mod vm;
 
+pub use budget::Budget;
 pub use class::{ClassBuilder, ClassDef, FieldDef, MethodCfg, MethodDef, CTOR_NAME};
 pub use ctx::Ctx;
 pub use error::MorError;

@@ -73,10 +73,7 @@ impl Profile {
     pub fn java() -> Self {
         Profile {
             lang: Lang::Java,
-            runtime_exceptions: vec![
-                "RuntimeException".to_owned(),
-                "OutOfMemoryError".to_owned(),
-            ],
+            runtime_exceptions: vec!["RuntimeException".to_owned(), "OutOfMemoryError".to_owned()],
             enforce_declared: true,
             instrument_core: false,
         }

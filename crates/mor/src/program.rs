@@ -85,7 +85,9 @@ impl Program for FnProgram {
 
 impl std::fmt::Debug for FnProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnProgram").field("name", &self.name).finish()
+        f.debug_struct("FnProgram")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -42,7 +42,9 @@ impl Registry {
 
     /// Looks up a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
-        self.by_name.get(name).map(|id| &self.classes[id.0 as usize])
+        self.by_name
+            .get(name)
+            .map(|id| &self.classes[id.0 as usize])
     }
 
     /// Returns a class by id.
@@ -185,10 +187,7 @@ impl RegistryBuilder {
     ///
     /// Panics if a class with the same name was already defined.
     pub fn class(&mut self, name: &str, define: impl FnOnce(&mut ClassBuilder)) -> ClassId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "duplicate class `{name}`"
-        );
+        assert!(!self.by_name.contains_key(name), "duplicate class `{name}`");
         let mut builder = ClassBuilder::new(name);
         define(&mut builder);
         let id = ClassId(self.classes.len() as u32);

@@ -13,8 +13,7 @@ use std::fmt;
 /// Equality of `Value`s is *shallow*: two `Ref`s are equal iff they point to
 /// the same object. Graph-level (deep, sharing-aware) equality is provided by
 /// `atomask-objgraph`.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The null pointer.
     #[default]
@@ -108,7 +107,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,11 +1,12 @@
 //! The virtual machine: call dispatch, frame roots, statistics.
 
+use crate::budget::{Budget, FuelMeter};
 use crate::class::MethodBody;
 use crate::ctx::Ctx;
-use crate::exception::{Exception, MethodResult};
+use crate::exception::{Exception, ExceptionTable, MethodResult};
 use crate::heap::Heap;
 use crate::hook::{CallHook, CallKind, CallSite};
-use crate::ids::{MethodId, ObjId};
+use crate::ids::{ExcId, MethodId, ObjId};
 use crate::registry::Registry;
 use crate::value::Value;
 use std::cell::RefCell;
@@ -59,13 +60,31 @@ pub struct Vm {
     stats: CallStats,
     call_seq: u64,
     depth: usize,
+    fuel: FuelMeter,
+    /// Preinterned id of the distinguished `BudgetExhausted` exception;
+    /// cached so dispatch can exempt it from declaration-violation
+    /// accounting without a name lookup per propagation step.
+    budget_exc: ExcId,
 }
 
 impl Vm {
     /// Creates a VM over a freshly built registry.
     pub fn new(registry: Registry) -> Self {
-        let registry = Rc::new(registry);
+        Vm::from_shared_registry(Rc::new(registry))
+    }
+
+    /// Creates a VM over an already-shared registry (campaigns reuse one
+    /// registry across many VMs instead of rebuilding it per run).
+    pub fn from_shared_registry(registry: Rc<Registry>) -> Self {
+        // Exception chain ids restart per VM: they only need to be unique
+        // within one VM's lifetime, and restarting keeps run records (and
+        // campaign journals) deterministic regardless of process history.
+        crate::exception::reset_chains();
         let methods = registry.method_count();
+        let budget_exc = registry
+            .exceptions()
+            .lookup(ExceptionTable::BUDGET_EXHAUSTED)
+            .expect("BudgetExhausted is preinterned by ExceptionTable::new");
         Vm {
             heap: Heap::new(registry.clone()),
             registry,
@@ -74,7 +93,31 @@ impl Vm {
             stats: CallStats::new(methods),
             call_seq: 0,
             depth: 0,
+            fuel: FuelMeter::new(Budget::unlimited()),
+            budget_exc,
         }
+    }
+
+    /// Installs a fresh fuel [`Budget`], resetting any fuel already spent.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.fuel = FuelMeter::new(budget);
+    }
+
+    /// The budget currently in force.
+    pub fn budget(&self) -> Budget {
+        self.fuel.budget()
+    }
+
+    /// Fuel spent so far under the current budget.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel.spent()
+    }
+
+    /// `true` iff the current budget has been exhausted — the campaign
+    /// layer uses this (not string-matching on exceptions) to classify a
+    /// run as diverged.
+    pub fn fuel_exhausted(&self) -> bool {
+        self.fuel.exhausted()
     }
 
     /// The registry describing the guest program.
@@ -108,6 +151,15 @@ impl Vm {
         self.stats = CallStats::new(self.registry.method_count());
     }
 
+    /// Takes the statistics out of the VM, leaving zeroed counters — lets
+    /// a campaign keep a finished run's counts without cloning the vector.
+    pub fn take_stats(&mut self) -> CallStats {
+        std::mem::replace(
+            &mut self.stats,
+            CallStats::new(self.registry.method_count()),
+        )
+    }
+
     /// Adds a persistent root (drivers root the objects they hold across
     /// reclamation points).
     pub fn root(&mut self, id: ObjId) {
@@ -127,10 +179,9 @@ impl Vm {
     /// declared via [`crate::RegistryBuilder::exception`] or a
     /// `throws(..)` clause.
     pub fn exc_id(&self, name: &str) -> crate::ids::ExcId {
-        self.registry
-            .exceptions()
-            .lookup(name)
-            .unwrap_or_else(|| panic!("unknown exception type `{name}` (register it at build time)"))
+        self.registry.exceptions().lookup(name).unwrap_or_else(|| {
+            panic!("unknown exception type `{name}` (register it at build time)")
+        })
     }
 
     /// Constructs an instance of `class_name`: allocates it and dispatches
@@ -152,6 +203,7 @@ impl Vm {
             .class_by_name(class_name)
             .unwrap_or_else(|| panic!("unknown class `{class_name}`"))
             .clone();
+        self.charge_heap_op();
         let id = self.heap.alloc(&class);
         self.root_in_frame(id);
         if let Some(ctor) = class.ctor() {
@@ -173,6 +225,7 @@ impl Vm {
             .class_by_name(class_name)
             .unwrap_or_else(|| panic!("unknown class `{class_name}`"))
             .clone();
+        self.charge_heap_op();
         let id = self.heap.alloc(&class);
         self.root_in_frame(id);
         id
@@ -195,9 +248,9 @@ impl Vm {
             .get(recv)
             .unwrap_or_else(|| panic!("call on dead object {recv}"));
         let class = self.registry.class(obj.class_id());
-        let slot = class.method_slot(method).unwrap_or_else(|| {
-            panic!("class `{}` has no method `{method}`", class.name)
-        });
+        let slot = class
+            .method_slot(method)
+            .unwrap_or_else(|| panic!("class `{}` has no method `{method}`", class.name));
         let gid = class.methods[slot].gid;
         self.dispatch(gid, recv, args, CallKind::Method)
     }
@@ -230,6 +283,22 @@ impl Vm {
         }
     }
 
+    /// Charges one guest heap operation against the budget. Overdrafting
+    /// never aborts mid-body (bodies cannot observe exhaustion between two
+    /// field writes); exhaustion surfaces as `BudgetExhausted` at the next
+    /// dispatched call. A program that keeps touching the heap after that
+    /// exception was *delivered*, though, is cut off by a panic — the
+    /// campaign layer catches it and classifies the run as diverged.
+    pub(crate) fn charge_heap_op(&mut self) {
+        if self.fuel.reported() {
+            panic!(
+                "fuel budget exhausted after {} steps: guest heap activity continued past BudgetExhausted (run diverged)",
+                self.fuel.spent()
+            );
+        }
+        self.fuel.charge_heap_op();
+    }
+
     fn dispatch(
         &mut self,
         mid: MethodId,
@@ -237,6 +306,26 @@ impl Vm {
         args: &[Value],
         kind: CallKind,
     ) -> MethodResult {
+        // The fuel check sits at the dispatch boundary: a run that diverges
+        // (e.g. retrying a synthetically failed call forever) is cut off the
+        // next time it calls anything. The first abort is a *guest*
+        // exception, so atomicity wrappers up the stack still roll their
+        // state back; if the program swallows it and keeps calling, the
+        // escalation to a panic below is the only thing that can still end
+        // the run (the campaign layer catches it as a divergence).
+        if !self.fuel.charge_call() {
+            if self.fuel.reported() {
+                panic!(
+                    "fuel budget exhausted after {} steps: guest calls continued past BudgetExhausted (run diverged)",
+                    self.fuel.spent()
+                );
+            }
+            self.fuel.mark_reported();
+            return Err(Exception::new(
+                self.budget_exc,
+                format!("fuel budget exhausted after {} steps", self.fuel.spent()),
+            ));
+        }
         let (body, declared_ok): (MethodBody, Vec<crate::ids::ExcId>) = {
             let def = self.registry.method(mid);
             (body_clone(&def.body), def.declared.clone())
@@ -321,6 +410,7 @@ impl Vm {
                 self.stats.exceptions_seen += 1;
                 if self.registry.profile().enforce_declared
                     && !e.injected
+                    && e.ty != self.budget_exc
                     && !declared_ok.contains(&e.ty)
                     && !self.registry.runtime_exceptions().contains(&e.ty)
                 {
@@ -330,7 +420,6 @@ impl Vm {
         }
         result
     }
-
 }
 
 fn body_clone(body: &MethodBody) -> MethodBody {
@@ -512,5 +601,97 @@ mod tests {
         let vm = Vm::new(counter_registry());
         let id = vm.exc_id("RuntimeException");
         assert_eq!(vm.registry().exceptions().name(id), "RuntimeException");
+    }
+
+    fn spin_registry() -> Registry {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Spin", |c| {
+            c.field("n", Value::Int(0));
+            c.method("noop", |_, _, _| Ok(Value::Null));
+            c.method("spin", |ctx, this, _| loop {
+                ctx.call(this, "noop", &[])?;
+            });
+        });
+        rb.build()
+    }
+
+    #[test]
+    fn budget_cuts_off_diverging_run() {
+        let mut vm = Vm::new(spin_registry());
+        let s = vm.construct("Spin", &[]).unwrap();
+        vm.root(s);
+        vm.set_budget(crate::Budget::fuel(1_000));
+        let err = vm.call(s, "spin", &[]).unwrap_err();
+        assert_eq!(
+            vm.registry().exceptions().name(err.ty),
+            crate::ExceptionTable::BUDGET_EXHAUSTED
+        );
+        assert!(!err.injected);
+        assert!(vm.fuel_exhausted());
+        // Exhaustion is a distinguished condition, not an undeclared
+        // application exception.
+        assert_eq!(vm.stats().declaration_violations, 0);
+    }
+
+    #[test]
+    fn default_budget_is_unlimited_but_metered() {
+        let mut vm = Vm::new(counter_registry());
+        assert_eq!(vm.budget(), crate::Budget::unlimited());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        vm.call(c, "increment", &[]).unwrap();
+        assert!(!vm.fuel_exhausted());
+        // Fuel is still metered under an unlimited budget, so campaigns can
+        // report consumption: ctor alloc + dispatches + field ops all count.
+        assert!(vm.fuel_spent() >= 2);
+    }
+
+    #[test]
+    fn heap_ops_charge_the_same_pool_as_calls() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        let before = vm.fuel_spent();
+        vm.call(c, "increment", &[]).unwrap(); // one call + a get + a set
+        assert!(vm.fuel_spent() >= before + 3);
+    }
+
+    #[test]
+    fn set_budget_resets_spent_fuel() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        assert!(vm.fuel_spent() > 0);
+        vm.set_budget(crate::Budget::fuel(50));
+        assert_eq!(vm.fuel_spent(), 0);
+        vm.call(c, "increment", &[]).unwrap();
+        assert!(!vm.fuel_exhausted());
+    }
+
+    #[test]
+    fn take_stats_leaves_zeroed_counters() {
+        let mut vm = Vm::new(counter_registry());
+        let c = vm.construct("Counter", &[]).unwrap();
+        vm.root(c);
+        vm.call(c, "increment", &[]).unwrap();
+        let taken = vm.take_stats();
+        assert_eq!(taken.total_calls(), 2);
+        assert_eq!(vm.stats().total_calls(), 0);
+        assert_eq!(vm.stats().calls.len(), taken.calls.len());
+    }
+
+    #[test]
+    fn shared_registry_vms_are_equivalent() {
+        let shared = Rc::new(counter_registry());
+        let mut a = Vm::from_shared_registry(shared.clone());
+        let mut b = Vm::from_shared_registry(shared);
+        let ca = a.construct("Counter", &[]).unwrap();
+        let cb = b.construct("Counter", &[]).unwrap();
+        a.root(ca);
+        b.root(cb);
+        assert_eq!(
+            a.call(ca, "increment", &[]).unwrap(),
+            b.call(cb, "increment", &[]).unwrap()
+        );
     }
 }

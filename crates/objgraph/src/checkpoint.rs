@@ -146,9 +146,13 @@ mod tests {
         let head = chain(&mut vm, &[1, 2]);
         let before = Snapshot::of(vm.heap(), head);
         let cp = Checkpoint::capture(vm.heap(), &[head]);
-        vm.heap_mut().set_field(head, "value", Value::Int(99)).unwrap();
+        vm.heap_mut()
+            .set_field(head, "value", Value::Int(99))
+            .unwrap();
         let next = vm.heap().field(head, "next").unwrap().as_ref_id().unwrap();
-        vm.heap_mut().set_field(next, "value", Value::Int(98)).unwrap();
+        vm.heap_mut()
+            .set_field(next, "value", Value::Int(98))
+            .unwrap();
         assert_ne!(Snapshot::of(vm.heap(), head), before);
         cp.restore(vm.heap_mut());
         assert_eq!(Snapshot::of(vm.heap(), head), before);
@@ -198,7 +202,9 @@ mod tests {
         let cp = Checkpoint::capture(vm.heap(), &[head]);
         // Simulate a failing method that inserted a node before throwing.
         let fresh = vm.alloc_raw("Node");
-        vm.heap_mut().set_field(head, "next", Value::Ref(fresh)).unwrap();
+        vm.heap_mut()
+            .set_field(head, "next", Value::Ref(fresh))
+            .unwrap();
         cp.restore(vm.heap_mut());
         // fresh is unreachable and unrooted: refcount cleanup collects it.
         assert_eq!(vm.heap_mut().reclaim(), 1);
@@ -229,7 +235,9 @@ mod tests {
         let arg = chain(&mut vm, &[5]);
         let before = Snapshot::of_roots(vm.heap(), &[recv, arg]);
         let cp = Checkpoint::capture(vm.heap(), &[recv, arg]);
-        vm.heap_mut().set_field(arg, "value", Value::Int(6)).unwrap();
+        vm.heap_mut()
+            .set_field(arg, "value", Value::Int(6))
+            .unwrap();
         cp.restore(vm.heap_mut());
         assert_eq!(Snapshot::of_roots(vm.heap(), &[recv, arg]), before);
     }

@@ -19,7 +19,12 @@ pub struct GraphSize {
 pub(crate) const OBJECT_HEADER_BYTES: usize = 16;
 
 pub(crate) fn object_bytes(obj: &Object) -> usize {
-    OBJECT_HEADER_BYTES + obj.fields().iter().map(|v| v.payload_bytes()).sum::<usize>()
+    OBJECT_HEADER_BYTES
+        + obj
+            .fields()
+            .iter()
+            .map(|v| v.payload_bytes())
+            .sum::<usize>()
 }
 
 /// Measures the object graph of `root`.

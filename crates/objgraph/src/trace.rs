@@ -156,7 +156,7 @@ impl Tracer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atomask_mor::{Profile, RegistryBuilder, Registry, Vm};
+    use atomask_mor::{Profile, Registry, RegistryBuilder, Vm};
 
     fn registry() -> Registry {
         let mut rb = RegistryBuilder::new(Profile::java());
@@ -229,8 +229,12 @@ mod tests {
         let shared = node(&mut vm, 7);
         let p1 = vm.alloc_raw("Pair");
         vm.root(p1);
-        vm.heap_mut().set_field(p1, "a", Value::Ref(shared)).unwrap();
-        vm.heap_mut().set_field(p1, "b", Value::Ref(shared)).unwrap();
+        vm.heap_mut()
+            .set_field(p1, "a", Value::Ref(shared))
+            .unwrap();
+        vm.heap_mut()
+            .set_field(p1, "b", Value::Ref(shared))
+            .unwrap();
 
         let n1 = node(&mut vm, 7);
         let n2 = node(&mut vm, 7);
@@ -264,8 +268,12 @@ mod tests {
         let shared = node(&mut vm, 9);
         let r1 = node(&mut vm, 1);
         let r2 = node(&mut vm, 2);
-        vm.heap_mut().set_field(r1, "next", Value::Ref(shared)).unwrap();
-        vm.heap_mut().set_field(r2, "next", Value::Ref(shared)).unwrap();
+        vm.heap_mut()
+            .set_field(r1, "next", Value::Ref(shared))
+            .unwrap();
+        vm.heap_mut()
+            .set_field(r2, "next", Value::Ref(shared))
+            .unwrap();
         let shared_trace = Snapshot::of_roots(vm.heap(), &[r1, r2]);
 
         // Same shape but r2 points at a private copy.
@@ -273,8 +281,12 @@ mod tests {
         let q1 = node(&mut vm, 1);
         let q2 = node(&mut vm, 2);
         let shared2 = node(&mut vm, 9);
-        vm.heap_mut().set_field(q1, "next", Value::Ref(shared2)).unwrap();
-        vm.heap_mut().set_field(q2, "next", Value::Ref(priv2)).unwrap();
+        vm.heap_mut()
+            .set_field(q1, "next", Value::Ref(shared2))
+            .unwrap();
+        vm.heap_mut()
+            .set_field(q2, "next", Value::Ref(priv2))
+            .unwrap();
         let unshared_trace = Snapshot::of_roots(vm.heap(), &[q1, q2]);
 
         assert_ne!(shared_trace, unshared_trace);

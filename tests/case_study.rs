@@ -16,7 +16,8 @@ fn pure_count(program: &atomask_suite::FnProgram) -> (u64, f64) {
 
 #[test]
 fn trivial_fixes_shrink_the_pure_set() {
-    let (buggy_pure, buggy_calls_pct) = pure_count(&atomask_suite::apps::collections::linked_list::program());
+    let (buggy_pure, buggy_calls_pct) =
+        pure_count(&atomask_suite::apps::collections::linked_list::program());
     let (fixed_pure, fixed_calls_pct) =
         pure_count(&atomask_suite::apps::collections::linked_list::fixed_program());
     // Paper: 18 -> 3 pure non-atomic methods, 7.8% -> <0.2% of calls. Our

@@ -1,9 +1,13 @@
-//! Detection-phase semantics against ground truth, and the aggregate
-//! "shape" claims of the paper's §6.1.
+//! Detection-phase semantics against ground truth, the aggregate "shape"
+//! claims of the paper's §6.1, and the campaign resilience layer (fuel
+//! budgets, panic isolation, resumable sweeps).
 
 use atomask_suite::report::evaluate;
 use atomask_suite::synthetic::{ground_truth, validation_program};
-use atomask_suite::{classify, Campaign, Lang, MarkFilter, Verdict};
+use atomask_suite::{
+    classify, Budget, Campaign, CampaignConfig, FnProgram, Lang, MarkFilter, Profile,
+    RegistryBuilder, RetryPolicy, RunOutcome, Value, Verdict,
+};
 
 /// §6: the synthetic benchmark with known combinations of (pure /
 /// conditional) failure (non-)atomic methods is classified exactly right.
@@ -110,6 +114,136 @@ fn core_classes_are_invisible() {
     assert_eq!(char_at.nonatomic_marks + char_at.atomic_marks, 0);
     // But under C++ rules the same class *would* be instrumented.
     assert_eq!(result.registry.profile().lang, Lang::Java);
+}
+
+/// A program whose *reaction* to injected failures is pathological: one
+/// injection point corrupts state that an application-level retry loop
+/// spins on forever, and another trips a host-level panic. A resilient
+/// campaign must isolate both and classify the rest normally.
+fn pathological_program() -> FnProgram {
+    FnProgram::new(
+        "suite-pathological",
+        || {
+            let mut profile = Profile::cpp();
+            profile.runtime_exceptions = vec!["Fault".to_owned()];
+            let mut rb = RegistryBuilder::new(profile);
+            rb.exception("StateError");
+            rb.class("P", |c| {
+                c.field("locked", Value::Bool(false));
+                c.field("done", Value::Int(0));
+                c.method("transact", |ctx, this, _| {
+                    if ctx.get_bool(this, "locked") {
+                        return Err(ctx.exception("StateError", "still locked"));
+                    }
+                    ctx.set(this, "locked", Value::Bool(true));
+                    // Non-atomic: an exception here leaks the lock.
+                    ctx.call(this, "commit", &[])?;
+                    ctx.set(this, "locked", Value::Bool(false));
+                    Ok(Value::Null)
+                });
+                c.method("commit", |_, _, _| Ok(Value::Null));
+                c.method("strict", |ctx, this, _| {
+                    if ctx.call(this, "probe", &[]).is_err() {
+                        panic!("invariant violated: probe can never fail");
+                    }
+                    Ok(Value::Null)
+                });
+                c.method("probe", |_, _, _| Ok(Value::Null));
+                c.method("calm", |ctx, this, _| {
+                    let d = ctx.get_int(this, "done");
+                    ctx.set(this, "done", Value::Int(d + 1));
+                    Ok(Value::Null)
+                });
+            });
+            rb.build()
+        },
+        |vm| {
+            let p = vm.construct("P", &[])?;
+            vm.root(p);
+            // Application-level retry loop: swallows failures and tries
+            // again; the leaked lock turns it into an infinite loop that
+            // only the fuel budget can end.
+            loop {
+                match vm.call(p, "transact", &[]) {
+                    Ok(_) => break,
+                    Err(_) => continue,
+                }
+            }
+            let _ = vm.call(p, "strict", &[]);
+            vm.call(p, "calm", &[])
+        },
+    )
+}
+
+fn resilient_config() -> CampaignConfig {
+    CampaignConfig {
+        budget: Budget::fuel(20_000),
+        retry: RetryPolicy::none(),
+        max_failures: None,
+    }
+}
+
+/// Tentpole acceptance: a full sweep over the pathological program
+/// completes, reports exactly one diverged and one panicked run, and
+/// classifies the remaining points normally.
+#[test]
+fn pathological_sweep_isolates_divergence_and_panic() {
+    let p = pathological_program();
+    let result = Campaign::new(&p).config(resilient_config()).run();
+    let health = result.health();
+    assert_eq!(health.diverged, 1, "exactly one diverging point: {health}");
+    assert_eq!(health.panicked, 1, "exactly one panicking point: {health}");
+    assert_eq!(health.skipped, 0, "{health}");
+    assert_eq!(health.total(), result.total_points, "full sweep");
+
+    // The diverging run is the injection into `commit` (lock leak); the
+    // campaign cut it off via the fuel budget.
+    let diverged = result
+        .runs
+        .iter()
+        .find(|r| r.outcome == RunOutcome::Diverged)
+        .unwrap();
+    let (m, _) = diverged.injected.unwrap();
+    assert_eq!(result.registry.method_display(m), "P::commit");
+
+    // The panicking run was confined: the panic message is captured and
+    // its neighbours completed normally.
+    let panicked = result
+        .runs
+        .iter()
+        .find(|r| r.outcome == RunOutcome::Panicked)
+        .unwrap();
+    assert!(
+        panicked.top_error.as_deref().unwrap().contains("invariant"),
+        "{:?}",
+        panicked.top_error
+    );
+
+    // Unhealthy runs contribute no marks, but the healthy remainder still
+    // classifies; the health tally rides along on the classification.
+    let c = classify(&result, &MarkFilter::default());
+    assert_eq!(c.health.unhealthy(), 2);
+    assert!(c.method("P::calm").is_some());
+}
+
+/// Resume semantics at suite level: interrupting a sweep halfway and
+/// resuming from the journal reproduces the uninterrupted sweep
+/// bit-for-bit, including the unhealthy runs.
+#[test]
+fn resumed_pathological_sweep_is_bit_for_bit() {
+    let p = pathological_program();
+    let full = Campaign::new(&p).config(resilient_config()).run();
+    let mut journal = full.journal();
+    journal.truncate_runs(full.runs.len() / 2);
+    let resumed = Campaign::new(&p)
+        .config(resilient_config())
+        .resume(&mut journal);
+    assert_eq!(resumed.runs, full.runs, "resume is bit-for-bit");
+
+    // The journal survives a trip through its text format.
+    let text = journal.serialize();
+    let reparsed = atomask_suite::CampaignJournal::parse(&text).unwrap();
+    assert_eq!(reparsed, journal);
 }
 
 /// Injections into constructors happen and are counted (Table 1 counts

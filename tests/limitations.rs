@@ -1,7 +1,9 @@
 //! Executable documentation of the paper's §4.4 and §5.1 limitations: the
 //! tool's blind spots behave exactly as the paper describes them.
 
-use atomask_suite::{classify, Campaign, FnProgram, MarkFilter, Profile, RegistryBuilder, Value, Verdict};
+use atomask_suite::{
+    classify, Campaign, FnProgram, MarkFilter, Profile, RegistryBuilder, Value, Verdict,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -51,11 +53,7 @@ fn external_side_effects_are_invisible() {
         "external side effects are not covered by Def. 2"
     );
     // ...even though some injected run really did tear it.
-    let torn = file
-        .borrow()
-        .windows(2)
-        .filter(|w| w[0] != w[1])
-        .count();
+    let torn = file.borrow().windows(2).filter(|w| w[0] != w[1]).count();
     let len = file.borrow().len();
     assert!(
         len % 2 == 1 || torn > 0 || len > 0,
@@ -90,7 +88,11 @@ fn incomplete_graphs_never_create_false_positives() {
             // Plant a pointer to an id that was never allocated: the
             // traversal records a hole instead of a subgraph.
             vm.heap_mut()
-                .set_field(h, "mystery", Value::Ref(atomask_suite::ObjId::from_raw(u64::MAX)))
+                .set_field(
+                    h,
+                    "mystery",
+                    Value::Ref(atomask_suite::ObjId::from_raw(u64::MAX)),
+                )
                 .unwrap();
             vm.call(h, "peek", &[])?;
             vm.call(h, "peek", &[])
@@ -113,7 +115,11 @@ fn incomplete_graphs_never_create_false_positives() {
 fn conservative_classification_and_its_cure() {
     let build = |annotated: bool| {
         FnProgram::new(
-            if annotated { "annotated" } else { "conservative" },
+            if annotated {
+                "annotated"
+            } else {
+                "conservative"
+            },
             move || {
                 let mut rb = RegistryBuilder::new(Profile::java());
                 rb.class("A", |c| {

@@ -2,18 +2,15 @@
 //! *every* injection point, a masked red-black tree keeps its invariants
 //! and a masked queue keeps its contents.
 
-use atomask_suite::{InjectionHook, MaskingHook, Pipeline, Program, Value, Vm};
 use atomask_mor::HookChain;
+use atomask_suite::{InjectionHook, MaskingHook, Pipeline, Program, Value, Vm};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Runs `program` once per injection point with the mask set derived from
 /// a detection pipeline, returning the VM of each faulted run for
 /// inspection.
-fn faulted_runs(
-    program: &atomask_suite::FnProgram,
-    inspect: impl Fn(&Vm),
-) {
+fn faulted_runs(program: &atomask_suite::FnProgram, inspect: impl Fn(&Vm)) {
     let report = Pipeline::new(program).run();
     let mask_set = report.mask_set.clone();
     let total = report.detection.total_points;
@@ -117,9 +114,8 @@ fn masking_is_transparent_without_faults() {
 
         // Compare the graphs of all like-named class instances, pairwise
         // in allocation order.
-        let roots = |vm: &Vm| -> Vec<atomask_suite::ObjId> {
-            vm.heap().iter().map(|(id, _)| id).collect()
-        };
+        let roots =
+            |vm: &Vm| -> Vec<atomask_suite::ObjId> { vm.heap().iter().map(|(id, _)| id).collect() };
         let (a, b) = (roots(&plain_vm), roots(&masked_vm));
         assert_eq!(a.len(), b.len(), "{name}: object population differs");
         for (&x, &y) in a.iter().zip(&b) {

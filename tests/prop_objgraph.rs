@@ -49,7 +49,9 @@ fn build(vm: &mut Vm, ops: &[Op]) -> Vec<ObjId> {
             Op::Alloc(tag) => {
                 let id = vm.alloc_raw("Node");
                 vm.root(id);
-                vm.heap_mut().set_field(id, "tag", Value::Int(*tag)).unwrap();
+                vm.heap_mut()
+                    .set_field(id, "tag", Value::Int(*tag))
+                    .unwrap();
                 nodes.push(id);
             }
             Op::LinkLeft(a, b) if !nodes.is_empty() => {

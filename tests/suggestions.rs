@@ -29,7 +29,11 @@ fn suggestions_match_the_case_study_annotations() {
         );
     }
     // Methods that make calls or throw must not be suggested.
-    for forbidden in ["LinkedList::insertFirst", "LinkedList::first", "LinkedList::at"] {
+    for forbidden in [
+        "LinkedList::insertFirst",
+        "LinkedList::first",
+        "LinkedList::at",
+    ] {
         assert!(
             !suggested.iter().any(|s| s == forbidden),
             "{forbidden} wrongly suggested"
@@ -63,13 +67,19 @@ fn suggestions_shrink_the_pure_set_without_code_changes() {
 fn suggestions_feed_the_masking_policy() {
     use atomask_suite::{Pipeline, Policy};
     let buggy = atomask_suite::apps::collections::linked_list::program();
-    let mut policy = Policy::default();
-    policy.exception_free = suggest_exception_free(&buggy).into_iter().collect();
+    let policy = Policy {
+        exception_free: suggest_exception_free(&buggy).into_iter().collect(),
+        ..Policy::default()
+    };
     let report = Pipeline::new(&buggy).policy(policy).run();
     // Fewer wrappers than the uninformed pipeline...
     let uninformed = Pipeline::new(&buggy).run();
     assert!(report.mask_set.len() <= uninformed.mask_set.len());
     // ...and the corrected program still verifies failure atomic (under
     // the same filter, i.e. modulo the asserted-impossible exceptions).
-    assert!(report.corrected_is_atomic(), "{:#?}", report.verified.method_counts);
+    assert!(
+        report.corrected_is_atomic(),
+        "{:#?}",
+        report.verified.method_counts
+    );
 }
