@@ -1,18 +1,22 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [table1|fig2|fig3|fig4|fig5|casestudy|all] [--quick]
+//! report [table1|fig2|fig3|fig4|fig5|casestudy|perf|all] [--quick]
 //! ```
 //!
 //! `--quick` caps every campaign at 300 injection points and shrinks the
 //! Fig. 5 grid; without it the full sweeps run (as in the paper).
+//!
+//! `perf` profiles the detection campaigns — sequential vs. sharded sweep
+//! wall time and eager vs. lazy capture cost — and writes the results to
+//! `BENCH_detection.json` (worker count from `ATOMASK_WORKERS`, default 4).
 
 use atomask::report::{
     render_case_study, render_class_distribution, render_method_classification, render_overhead,
     render_run_health, render_table1,
 };
 use atomask::{classify, overhead, Campaign, Lang, MarkFilter};
-use atomask_bench::evaluate_apps;
+use atomask_bench::{detection_perf_json, evaluate_apps, measure_detection};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +74,22 @@ fn main() {
         }
         println!("Ablation: undo-log wrappers at 100% wrapped calls (§6.2)");
         println!("{}", render_overhead(&undo));
+    }
+    if matches!(what, "perf" | "all") {
+        let workers = std::env::var("ATOMASK_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or(4);
+        let mut rows = Vec::new();
+        for spec in atomask::apps::all_apps() {
+            eprintln!("profiling detection sweep for {} ...", spec.name);
+            rows.push(measure_detection(&spec, cap, workers));
+        }
+        let json = detection_perf_json(&rows, workers);
+        std::fs::write("BENCH_detection.json", &json).expect("write BENCH_detection.json");
+        eprintln!("wrote BENCH_detection.json");
+        println!("{json}");
     }
     if matches!(what, "casestudy" | "all") {
         eprintln!("running LinkedList case study ...");

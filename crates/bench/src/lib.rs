@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 use atomask::report::{evaluate, AppEvaluation};
+use atomask::{Campaign, CampaignConfig, CaptureMode, Lang};
 use atomask_apps::AppSpec;
+use std::time::Instant;
 
 /// Evaluates a list of suite applications, printing progress to stderr.
 ///
@@ -26,6 +28,229 @@ pub fn evaluate_apps(specs: &[AppSpec], cap: Option<u64>) -> Vec<AppEvaluation> 
         .collect()
 }
 
+/// One application's detection-campaign performance profile: wall time of
+/// the sequential vs. sharded sweep, and capture cost of the eager vs.
+/// lazy before-state strategy.
+#[derive(Debug, Clone)]
+pub struct DetectionPerf {
+    /// Application name (Table 1 row).
+    pub name: String,
+    /// Language side of the evaluation.
+    pub lang: Lang,
+    /// Injection points actually swept.
+    pub points: u64,
+    /// Worker threads used by the parallel sweep.
+    pub workers: usize,
+    /// Wall time of the sequential (1-worker) lazy-capture sweep, ns.
+    pub sequential_ns: u128,
+    /// Wall time of the sharded lazy-capture sweep, ns.
+    pub parallel_ns: u128,
+    /// Wall time of the sequential eager-capture sweep (the seed's
+    /// behaviour), ns.
+    pub eager_ns: u128,
+    /// Object-graph snapshots taken by an eager-capture sweep.
+    pub snapshots_eager: u64,
+    /// Object-graph snapshots taken by the lazy-capture sweep.
+    pub snapshots_lazy: u64,
+    /// Approximate bytes captured by the eager-capture sweep.
+    pub capture_bytes_eager: u64,
+    /// Approximate bytes captured by the lazy-capture sweep.
+    pub capture_bytes_lazy: u64,
+}
+
+impl DetectionPerf {
+    /// Sequential wall time over parallel wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            return 1.0;
+        }
+        self.sequential_ns as f64 / self.parallel_ns as f64
+    }
+
+    /// Injection points swept per second (`ns` is a sweep's wall time).
+    pub fn points_per_sec(&self, ns: u128) -> f64 {
+        if ns == 0 {
+            return 0.0;
+        }
+        self.points as f64 * 1e9 / ns as f64
+    }
+
+    /// Percentage of eager snapshots the lazy capture path avoided.
+    pub fn snapshot_reduction_pct(&self) -> f64 {
+        if self.snapshots_eager == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.snapshots_lazy as f64 / self.snapshots_eager as f64)
+    }
+
+    /// Eager-capture wall time over lazy-capture wall time, both
+    /// sequential: the speedup of the O(writes) capture path alone.
+    pub fn capture_speedup(&self) -> f64 {
+        if self.sequential_ns == 0 {
+            return 1.0;
+        }
+        self.eager_ns as f64 / self.sequential_ns as f64
+    }
+
+    /// Eager sequential (the seed's executor) over lazy sharded wall
+    /// time: the combined end-to-end speedup of this optimization pair.
+    pub fn total_speedup(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            return 1.0;
+        }
+        self.eager_ns as f64 / self.parallel_ns as f64
+    }
+}
+
+fn timed_sweep(
+    spec: &AppSpec,
+    cap: Option<u64>,
+    workers: usize,
+    capture: CaptureMode,
+) -> (u128, u64, u64, u64) {
+    let program = spec.program();
+    let mut campaign = Campaign::new(&program).config(CampaignConfig {
+        workers,
+        capture,
+        ..CampaignConfig::default()
+    });
+    if let Some(cap) = cap {
+        campaign = campaign.max_points(cap);
+    }
+    let t0 = Instant::now();
+    let result = campaign.run();
+    let wall = t0.elapsed().as_nanos();
+    let health = result.health();
+    (
+        wall,
+        result.runs.len() as u64,
+        health.snapshots,
+        health.capture_bytes,
+    )
+}
+
+/// Profiles one application's detection campaign: a sequential and a
+/// `workers`-way sharded sweep under lazy capture (for the speedup), plus
+/// a sequential eager-capture sweep (for the capture-cost baseline).
+pub fn measure_detection(spec: &AppSpec, cap: Option<u64>, workers: usize) -> DetectionPerf {
+    let (sequential_ns, points, snapshots_lazy, capture_bytes_lazy) =
+        timed_sweep(spec, cap, 1, CaptureMode::Lazy);
+    let (parallel_ns, _, _, _) = timed_sweep(spec, cap, workers, CaptureMode::Lazy);
+    let (eager_ns, _, snapshots_eager, capture_bytes_eager) =
+        timed_sweep(spec, cap, 1, CaptureMode::Eager);
+    DetectionPerf {
+        name: spec.name.to_owned(),
+        lang: spec.lang,
+        points,
+        workers,
+        sequential_ns,
+        parallel_ns,
+        eager_ns,
+        snapshots_eager,
+        snapshots_lazy,
+        capture_bytes_eager,
+        capture_bytes_lazy,
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0f64, 0usize), |(s, n), x| (s + x.max(1e-9).ln(), n + 1));
+    if n == 0 {
+        return 1.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Renders the detection-performance rows as a JSON document (the
+/// `BENCH_detection.json` artifact). Hand-rolled: the workspace carries no
+/// serialization dependency.
+pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.3},\n",
+        geomean(rows.iter().map(DetectionPerf::speedup))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_capture_speedup\": {:.3},\n",
+        geomean(rows.iter().map(DetectionPerf::capture_speedup))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_total_speedup\": {:.3},\n",
+        geomean(rows.iter().map(DetectionPerf::total_speedup))
+    ));
+    out.push_str(&format!(
+        "  \"max_snapshot_reduction_pct\": {:.1},\n",
+        rows.iter()
+            .map(DetectionPerf::snapshot_reduction_pct)
+            .fold(0.0, f64::max)
+    ));
+    out.push_str("  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"lang\": \"{}\",\n", r.lang));
+        out.push_str(&format!("      \"points\": {},\n", r.points));
+        out.push_str(&format!(
+            "      \"sequential_ms\": {:.3},\n",
+            r.sequential_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "      \"parallel_ms\": {:.3},\n",
+            r.parallel_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "      \"sequential_points_per_sec\": {:.1},\n",
+            r.points_per_sec(r.sequential_ns)
+        ));
+        out.push_str(&format!(
+            "      \"parallel_points_per_sec\": {:.1},\n",
+            r.points_per_sec(r.parallel_ns)
+        ));
+        out.push_str(&format!(
+            "      \"eager_ms\": {:.3},\n",
+            r.eager_ns as f64 / 1e6
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup()));
+        out.push_str(&format!(
+            "      \"capture_speedup\": {:.3},\n",
+            r.capture_speedup()
+        ));
+        out.push_str(&format!(
+            "      \"total_speedup\": {:.3},\n",
+            r.total_speedup()
+        ));
+        out.push_str(&format!(
+            "      \"snapshots_eager\": {},\n",
+            r.snapshots_eager
+        ));
+        out.push_str(&format!(
+            "      \"snapshots_lazy\": {},\n",
+            r.snapshots_lazy
+        ));
+        out.push_str(&format!(
+            "      \"snapshot_reduction_pct\": {:.1},\n",
+            r.snapshot_reduction_pct()
+        ));
+        out.push_str(&format!(
+            "      \"capture_bytes_eager\": {},\n",
+            r.capture_bytes_eager
+        ));
+        out.push_str(&format!(
+            "      \"capture_bytes_lazy\": {}\n",
+            r.capture_bytes_lazy
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +261,50 @@ mod tests {
         let rows = evaluate_apps(&specs, Some(50));
         assert_eq!(rows.len(), 1);
         assert!(rows[0].injections >= 50);
+    }
+
+    #[test]
+    fn detection_perf_measures_and_serializes() {
+        let spec = atomask_apps::cpp_apps().into_iter().next().unwrap();
+        let perf = measure_detection(&spec, Some(40), 2);
+        assert_eq!(perf.points, 40);
+        assert!(perf.sequential_ns > 0 && perf.parallel_ns > 0);
+        assert!(
+            perf.snapshots_lazy <= perf.snapshots_eager,
+            "lazy capture never snapshots more than eager: {} > {}",
+            perf.snapshots_lazy,
+            perf.snapshots_eager
+        );
+        let json = detection_perf_json(std::slice::from_ref(&perf), 2);
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains(&format!("\"name\": \"{}\"", spec.name)));
+        assert!(json.contains("\"snapshot_reduction_pct\""));
+        assert!(json.contains("\"geomean_speedup\""));
+        // Shape check: braces and brackets balance.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn perf_ratios_are_safe_on_degenerate_input() {
+        let perf = DetectionPerf {
+            name: "degenerate".into(),
+            lang: Lang::Cpp,
+            points: 0,
+            workers: 1,
+            sequential_ns: 0,
+            parallel_ns: 0,
+            eager_ns: 0,
+            snapshots_eager: 0,
+            snapshots_lazy: 0,
+            capture_bytes_eager: 0,
+            capture_bytes_lazy: 0,
+        };
+        assert_eq!(perf.speedup(), 1.0);
+        assert_eq!(perf.points_per_sec(0), 0.0);
+        assert_eq!(perf.snapshot_reduction_pct(), 0.0);
+        assert_eq!(perf.capture_speedup(), 1.0);
+        assert_eq!(perf.total_speedup(), 1.0);
     }
 }

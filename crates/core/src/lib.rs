@@ -50,8 +50,9 @@ pub mod synthetic;
 pub use pipeline::{Pipeline, PipelineReport};
 
 pub use atomask_inject::{
-    classify, suggest_exception_free, Campaign, CampaignConfig, CampaignJournal, CampaignResult,
-    Classification, InjectionHook, Mark, MarkFilter, MethodClassification, RetryPolicy, RunHealth,
+    classify, silent_diagnostics, stderr_diagnostics, suggest_exception_free, Campaign,
+    CampaignConfig, CampaignJournal, CampaignResult, CaptureMode, CaptureStats, Classification,
+    DiagnosticsFn, InjectionHook, Mark, MarkFilter, MethodClassification, RetryPolicy, RunHealth,
     RunOutcome, RunResult, Verdict, VerdictCounts,
 };
 pub use atomask_mask::{

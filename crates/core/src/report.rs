@@ -109,13 +109,21 @@ pub fn render_run_health(rows: &[AppEvaluation]) -> String {
     let mut out = String::new();
     out.push_str("Run health: campaign outcomes per application\n");
     out.push_str(&format!(
-        "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12}\n",
-        "Lang", "Application", "completed", "diverged", "panicked", "skipped", "retries", "fuel"
+        "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12} {:>9}\n",
+        "Lang",
+        "Application",
+        "completed",
+        "diverged",
+        "panicked",
+        "skipped",
+        "retries",
+        "fuel",
+        "snapshots"
     ));
     for row in rows {
         let h = &row.health;
         out.push_str(&format!(
-            "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12}\n",
+            "{:<6} {:<14} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12} {:>9}\n",
             row.lang.to_string(),
             row.name,
             h.completed,
@@ -123,7 +131,8 @@ pub fn render_run_health(rows: &[AppEvaluation]) -> String {
             h.panicked,
             h.skipped,
             h.retries,
-            h.fuel_spent
+            h.fuel_spent,
+            h.snapshots
         ));
     }
     let unhealthy: u64 = rows.iter().map(|r| r.health.unhealthy()).sum();

@@ -21,17 +21,50 @@
 //! * finished runs are appended to a [`CampaignJournal`], and
 //!   [`Campaign::resume`] restarts an interrupted sweep at the first
 //!   injection point the journal is missing.
+//!
+//! ## Parallel sharding
+//!
+//! Injector runs are fully independent (Fig. 1 step 3 runs the injector
+//! program once per point on a fresh VM), so the campaign shards the
+//! missing points across a [`std::thread::scope`] worker pool when
+//! [`CampaignConfig::workers`] (or `ATOMASK_WORKERS`, or the machine's
+//! available parallelism) asks for more than one worker. Each worker
+//! builds its **own** registry via [`Program::build_registry`] — method
+//! bodies stay `Rc`-shared, single-threaded closures — and ships finished
+//! [`RunResult`]s to an ordered writer on the campaign thread, which
+//! appends them to the journal in injection-point order. Journals and
+//! results are therefore bit-for-bit identical to the sequential sweep,
+//! whatever the worker count (see DESIGN.md, "Campaign execution").
 
-use crate::hook::InjectionHook;
+use crate::hook::{CaptureMode, InjectionHook};
 use crate::journal::CampaignJournal;
 use crate::marks::Mark;
 use atomask_mor::{Budget, CallHook, ExcId, HookChain, MethodId, Program, Registry, Vm};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Factory producing the hook woven *inside* the injection wrappers.
-type InnerHookFactory = Box<dyn Fn(&Registry) -> Rc<RefCell<dyn CallHook>>>;
+/// `Send + Sync` because campaign workers invoke it from their own
+/// threads (the produced hook itself stays thread-local).
+type InnerHookFactory = Box<dyn Fn(&Registry) -> Rc<RefCell<dyn CallHook>> + Send + Sync>;
+
+/// Sink for campaign diagnostics (warnings that used to go straight to
+/// stderr). A plain function pointer so [`CampaignConfig`] stays `Copy`
+/// and `Eq`.
+pub type DiagnosticsFn = fn(&str);
+
+/// The default [`DiagnosticsFn`]: one line to stderr.
+pub fn stderr_diagnostics(message: &str) {
+    eprintln!("{message}");
+}
+
+/// A [`DiagnosticsFn`] that swallows everything (useful in tests and when
+/// a harness renders health from the journal instead).
+pub fn silent_diagnostics(_message: &str) {}
 
 /// How one injector run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,8 +142,8 @@ impl RetryPolicy {
     }
 }
 
-/// Knobs governing a campaign's resilience behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Knobs governing a campaign's resilience and execution behaviour.
+#[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
     /// Fuel budget of each injector run (and each retry's base, before
     /// scaling). Defaults to [`Budget::unlimited`] — the paper's campaigns
@@ -120,9 +153,52 @@ pub struct CampaignConfig {
     pub retry: RetryPolicy,
     /// After this many unhealthy runs, remaining points are recorded as
     /// [`RunOutcome::Skipped`] instead of executed. `None` (default) never
-    /// gives up.
+    /// gives up. Under parallel sharding the cap keeps its sequential
+    /// meaning: results are accounted in injection-point order, and every
+    /// point past the cap is recorded as skipped even if a worker had
+    /// already executed it speculatively.
     pub max_failures: Option<u64>,
+    /// Worker threads for the injection sweep. `0` (default) resolves to
+    /// the `ATOMASK_WORKERS` environment variable if set, else to
+    /// [`std::thread::available_parallelism`]; auto-resolved campaigns
+    /// fall back to sequential execution for small sweeps where thread
+    /// setup would dominate. Any explicit value (config or environment)
+    /// is honored as-is. `1` forces the sequential path.
+    pub workers: usize,
+    /// How injection wrappers capture pre-call state. Defaults to
+    /// [`CaptureMode::Lazy`] (undo-log reconstruction); campaigns with an
+    /// inner hook (masking verification) always use eager capture because
+    /// rollback hooks may reclaim objects mid-extent.
+    pub capture: CaptureMode,
+    /// Where campaign warnings go. Defaults to [`stderr_diagnostics`].
+    pub diagnostics: DiagnosticsFn,
 }
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            budget: Budget::default(),
+            retry: RetryPolicy::default(),
+            max_failures: None,
+            workers: 0,
+            capture: CaptureMode::default(),
+            diagnostics: stderr_diagnostics,
+        }
+    }
+}
+
+impl PartialEq for CampaignConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.budget == other.budget
+            && self.retry == other.retry
+            && self.max_failures == other.max_failures
+            && self.workers == other.workers
+            && self.capture == other.capture
+            && std::ptr::fn_addr_eq(self.diagnostics, other.diagnostics)
+    }
+}
+
+impl Eq for CampaignConfig {}
 
 /// The outcome of one injector run (one `InjectionPoint` value).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +220,12 @@ pub struct RunResult {
     pub retries: u32,
     /// Fuel consumed by the final attempt.
     pub fuel_spent: u64,
+    /// Object-graph snapshots captured by the final attempt's injection
+    /// wrappers (the capture-cost stat the [`CaptureMode`] optimization
+    /// reduces).
+    pub snapshots: u64,
+    /// Approximate bytes of those snapshots.
+    pub capture_bytes: u64,
 }
 
 impl RunResult {
@@ -157,6 +239,8 @@ impl RunResult {
             outcome: RunOutcome::Skipped,
             retries: 0,
             fuel_spent: 0,
+            snapshots: 0,
+            capture_bytes: 0,
         }
     }
 
@@ -181,6 +265,10 @@ pub struct RunHealth {
     pub retries: u64,
     /// Total fuel consumed across final attempts.
     pub fuel_spent: u64,
+    /// Total object-graph snapshots captured across final attempts.
+    pub snapshots: u64,
+    /// Total approximate snapshot bytes across final attempts.
+    pub capture_bytes: u64,
 }
 
 impl RunHealth {
@@ -194,6 +282,8 @@ impl RunHealth {
         }
         self.retries += u64::from(run.retries);
         self.fuel_spent += run.fuel_spent;
+        self.snapshots += run.snapshots;
+        self.capture_bytes += run.capture_bytes;
     }
 
     /// Runs that contributed no marks (diverged + panicked + skipped).
@@ -211,13 +301,14 @@ impl std::fmt::Display for RunHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} completed, {} diverged, {} panicked, {} skipped ({} retries, {} fuel)",
+            "{} completed, {} diverged, {} panicked, {} skipped ({} retries, {} fuel, {} snapshots)",
             self.completed,
             self.diverged,
             self.panicked,
             self.skipped,
             self.retries,
-            self.fuel_spent
+            self.fuel_spent,
+            self.snapshots
         )
     }
 }
@@ -271,7 +362,7 @@ impl CampaignResult {
         j.bind(&self.program);
         j.record_baseline(self.total_points, &self.baseline_calls);
         for run in &self.runs {
-            j.record_run(run.clone());
+            j.record_run(run);
         }
         j
     }
@@ -318,7 +409,7 @@ impl<'p> Campaign<'p> {
     /// rolling back before the injection wrappers compare.
     pub fn with_inner_hook(
         mut self,
-        factory: impl Fn(&Registry) -> Rc<RefCell<dyn CallHook>> + 'static,
+        factory: impl Fn(&Registry) -> Rc<RefCell<dyn CallHook>> + Send + Sync + 'static,
     ) -> Self {
         self.inner_hook = Some(Box::new(factory));
         self
@@ -357,6 +448,25 @@ impl<'p> Campaign<'p> {
         self
     }
 
+    /// Sets the worker-thread count for the injection sweep (see
+    /// [`CampaignConfig::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the pre-call capture mode (see [`CampaignConfig::capture`]).
+    pub fn capture(mut self, mode: CaptureMode) -> Self {
+        self.config.capture = mode;
+        self
+    }
+
+    /// Redirects campaign warnings (see [`CampaignConfig::diagnostics`]).
+    pub fn diagnostics(mut self, sink: DiagnosticsFn) -> Self {
+        self.config.diagnostics = sink;
+        self
+    }
+
     /// Executes the campaign.
     pub fn run(&self) -> CampaignResult {
         let mut scratch = CampaignJournal::new();
@@ -389,10 +499,10 @@ impl<'p> Campaign<'p> {
                 // program that panics or diverges even without injection
                 // still yields a (partially) sized campaign.
                 if catch_unwind(AssertUnwindSafe(|| self.program.run(&mut vm))).is_err() {
-                    eprintln!(
+                    (self.config.diagnostics)(&format!(
                         "warning: baseline run of `{}` panicked; campaign sized from the points counted before the panic",
                         self.program.name()
-                    );
+                    ));
                 }
                 vm.set_hook(None);
                 let total_points = counter.borrow().points();
@@ -403,6 +513,54 @@ impl<'p> Campaign<'p> {
         };
 
         let limit = self.max_points.unwrap_or(total_points).min(total_points);
+        let missing: Vec<u64> = (1..=limit)
+            .filter(|p| journal.run_for(*p).is_none())
+            .collect();
+        let workers = self.plan_workers(missing.len());
+        let runs = if workers <= 1 {
+            self.sweep_sequential(journal, &registry, limit)
+        } else {
+            self.sweep_parallel(journal, limit, &missing, workers)
+        };
+
+        CampaignResult {
+            program: self.program.name().to_owned(),
+            registry,
+            total_points,
+            baseline_calls,
+            runs,
+        }
+    }
+
+    /// Resolves the effective worker count for a sweep with `missing`
+    /// points left to execute. An explicit count (config or
+    /// `ATOMASK_WORKERS`) is honored as-is; auto mode uses the machine's
+    /// parallelism but stays sequential for small sweeps, where thread
+    /// setup would cost more than it buys.
+    fn plan_workers(&self, missing: usize) -> usize {
+        const AUTO_PARALLEL_MIN_POINTS: usize = 32;
+        let requested = if self.config.workers > 0 {
+            self.config.workers
+        } else if let Some(n) = env_workers() {
+            n
+        } else {
+            if missing < AUTO_PARALLEL_MIN_POINTS {
+                return 1;
+            }
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        requested.min(missing.max(1))
+    }
+
+    /// The classic in-order sweep on the campaign thread.
+    fn sweep_sequential(
+        &self,
+        journal: &mut CampaignJournal,
+        registry: &Rc<Registry>,
+        limit: u64,
+    ) -> Vec<RunResult> {
         let mut runs = Vec::with_capacity(limit as usize);
         let mut unhealthy = 0u64;
         for injection_point in 1..=limit {
@@ -417,22 +575,124 @@ impl<'p> Campaign<'p> {
             let run = if self.config.max_failures.is_some_and(|cap| unhealthy >= cap) {
                 RunResult::skipped(injection_point)
             } else {
-                self.run_point(&registry, injection_point)
+                self.run_point(registry, injection_point)
             };
             if !run.is_healthy() {
                 unhealthy += 1;
             }
-            journal.record_run(run.clone());
+            journal.record_run(&run);
             runs.push(run);
         }
+        runs
+    }
 
-        CampaignResult {
-            program: self.program.name().to_owned(),
-            registry,
-            total_points,
-            baseline_calls,
-            runs,
-        }
+    /// Shards the missing points across `workers` threads; an ordered
+    /// writer on this thread folds results back in injection-point order,
+    /// so the journal and the returned runs are bit-for-bit what the
+    /// sequential sweep produces.
+    ///
+    /// `max_failures` semantics under sharding: the writer counts
+    /// unhealthy runs in point order (exactly like the sequential loop)
+    /// and, once the cap is reached, records every later point as
+    /// [`RunOutcome::Skipped`] — discarding any result a worker had
+    /// already produced speculatively for those points — and tells the
+    /// workers to stop claiming.
+    fn sweep_parallel(
+        &self,
+        journal: &mut CampaignJournal,
+        limit: u64,
+        missing: &[u64],
+        workers: usize,
+    ) -> Vec<RunResult> {
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<RunResult>();
+        let mut runs = Vec::with_capacity(limit as usize);
+        std::thread::scope(|scope| {
+            let next = &next;
+            let cancelled = &cancelled;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    // Each worker owns a private registry universe; the
+                    // program promises identical builds, so ids (and thus
+                    // results) are identical across workers.
+                    let registry = Rc::new(self.program.build_registry());
+                    while !cancelled.load(Ordering::Relaxed) {
+                        let claim = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&point) = missing.get(claim) else {
+                            break;
+                        };
+                        // `run_point` already isolates guest panics; a
+                        // panic *outside* it is a harness bug, but a
+                        // poisoned result keeps the writer from waiting
+                        // forever on the claimed point.
+                        let run =
+                            catch_unwind(AssertUnwindSafe(|| self.run_point(&registry, point)))
+                                .unwrap_or_else(|payload| RunResult {
+                                    injection_point: point,
+                                    injected: None,
+                                    marks: Vec::new(),
+                                    top_error: Some(format!(
+                                        "panic: harness: {}",
+                                        panic_message(payload.as_ref())
+                                    )),
+                                    outcome: RunOutcome::Panicked,
+                                    retries: 0,
+                                    fuel_spent: 0,
+                                    snapshots: 0,
+                                    capture_bytes: 0,
+                                });
+                        if tx.send(run).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // The ordered writer: reproduce the sequential loop's journal
+            // appends and cap accounting exactly, buffering out-of-order
+            // arrivals.
+            let mut pending: HashMap<u64, RunResult> = HashMap::new();
+            let mut unhealthy = 0u64;
+            for injection_point in 1..=limit {
+                let run = if let Some(done) = journal.run_for(injection_point) {
+                    done.clone()
+                } else if self.config.max_failures.is_some_and(|cap| unhealthy >= cap) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    let run = RunResult::skipped(injection_point);
+                    journal.record_run(&run);
+                    run
+                } else {
+                    let run = loop {
+                        if let Some(run) = pending.remove(&injection_point) {
+                            break run;
+                        }
+                        match rx.recv() {
+                            Ok(run) if run.injection_point == injection_point => break run,
+                            Ok(run) => {
+                                pending.insert(run.injection_point, run);
+                            }
+                            Err(_) => unreachable!(
+                                "worker pool exited before delivering point {injection_point}"
+                            ),
+                        }
+                    };
+                    journal.record_run(&run);
+                    run
+                };
+                if !run.is_healthy() {
+                    unhealthy += 1;
+                }
+                runs.push(run);
+            }
+            // Stop workers that are still claiming; results in flight are
+            // simply dropped (they were past the cap or past the limit).
+            cancelled.store(true, Ordering::Relaxed);
+            while rx.try_recv().is_ok() {}
+        });
+        runs
     }
 
     /// Runs one injection point to a final outcome, retrying unhealthy runs
@@ -461,9 +721,9 @@ impl<'p> Campaign<'p> {
     ) -> RunResult {
         let mut vm = Vm::from_shared_registry(registry.clone());
         vm.set_budget(budget);
-        let hook = Rc::new(RefCell::new(InjectionHook::with_injection_point(
-            injection_point,
-        )));
+        let hook = Rc::new(RefCell::new(
+            InjectionHook::with_injection_point(injection_point).capture(self.effective_capture()),
+        ));
         self.install(&mut vm, hook.clone());
         // Panic isolation: a panicking application body unwinds out of
         // `Program::run`; the VM is only inspected for fuel afterwards and
@@ -475,7 +735,8 @@ impl<'p> Campaign<'p> {
         let diverged = vm.fuel_exhausted();
         let fuel_spent = vm.fuel_spent();
         drop(vm);
-        let hook = extract_hook_state(hook);
+        let hook = extract_hook_state(hook, self.config.diagnostics);
+        let capture = hook.capture_stats();
         // An exhausted budget wins over how the run happened to end: both
         // the guest `BudgetExhausted` exception reaching the driver and the
         // escalation panic (when the program swallowed that exception and
@@ -502,6 +763,21 @@ impl<'p> Campaign<'p> {
             outcome,
             retries: 0,
             fuel_spent,
+            snapshots: capture.snapshots,
+            capture_bytes: capture.capture_bytes,
+        }
+    }
+
+    /// The capture mode injector runs actually use: the configured mode,
+    /// except that campaigns weaving an inner hook (masking verification)
+    /// always capture eagerly — rollback hooks may reclaim objects in the
+    /// middle of a wrapped call's extent, which would punch holes in an
+    /// undo-log reconstruction of the before-graph.
+    fn effective_capture(&self) -> CaptureMode {
+        if self.inner_hook.is_some() {
+            CaptureMode::Eager
+        } else {
+            self.config.capture
         }
     }
 
@@ -521,20 +797,33 @@ impl<'p> Campaign<'p> {
 /// sole ownership; if something still shares the `Rc` (a hook chain kept
 /// alive across a panic, say), the state is cloned out instead of aborting
 /// the whole campaign.
-fn extract_hook_state(hook: Rc<RefCell<InjectionHook>>) -> InjectionHook {
+fn extract_hook_state(
+    hook: Rc<RefCell<InjectionHook>>,
+    diagnostics: DiagnosticsFn,
+) -> InjectionHook {
     match Rc::try_unwrap(hook) {
         Ok(cell) => cell.into_inner(),
         Err(shared) => match shared.try_borrow() {
             Ok(state) => {
-                eprintln!("warning: injection hook still shared after run; cloning its state");
+                diagnostics("warning: injection hook still shared after run; cloning its state");
                 state.clone()
             }
             Err(_) => {
-                eprintln!("warning: injection hook still borrowed after run; its marks are lost");
+                diagnostics("warning: injection hook still borrowed after run; its marks are lost");
                 InjectionHook::counting()
             }
         },
     }
+}
+
+/// `ATOMASK_WORKERS`, if set to a positive integer.
+fn env_workers() -> Option<usize> {
+    std::env::var("ATOMASK_WORKERS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
 }
 
 /// Best-effort rendering of a panic payload (the two shapes `panic!`

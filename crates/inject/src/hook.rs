@@ -6,6 +6,41 @@ use atomask_mor::{
 };
 use atomask_objgraph::Snapshot;
 
+/// How the injection wrapper captures the pre-call state it compares
+/// against when an exception propagates (Listing 1 line 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CaptureMode {
+    /// Deep-copy the receiver's (and by-reference arguments') object
+    /// graph before **every** wrapped call — the paper's literal
+    /// `objgraph_before = deep_copy(this)`, `O(graph)` per call even
+    /// though most calls complete normally and never compare.
+    Eager,
+    /// Open a heap write-journal layer before the call and reconstruct
+    /// the before-graph from the undo log only when an exception actually
+    /// unwinds through the wrapper — `O(writes)` bookkeeping per call,
+    /// snapshots only on the propagation path (the paper's §6.2
+    /// copy-on-write optimization applied to detection).
+    #[default]
+    Lazy,
+}
+
+/// Capture-cost counters of one injector run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Canonical-trace captures performed ([`Snapshot`] traversals).
+    pub snapshots: u64,
+    /// Total approximate bytes of those snapshots.
+    pub capture_bytes: u64,
+}
+
+/// Guard carried from `before` to `after` for observed calls.
+enum CaptureGuard {
+    /// The eager before-snapshot.
+    Eager(Snapshot),
+    /// A journal layer is open; the before-state lives in the undo log.
+    Lazy,
+}
+
 /// The per-run state of the exception injector program.
 ///
 /// Reproduces Listing 1 of the paper:
@@ -29,6 +64,8 @@ pub struct InjectionHook {
     point: u64,
     injection_point: Option<u64>,
     observe: bool,
+    capture: CaptureMode,
+    stats: CaptureStats,
     injected: Option<(MethodId, ExcId)>,
     marks: Vec<Mark>,
 }
@@ -43,18 +80,23 @@ impl InjectionHook {
             point: 0,
             injection_point: None,
             observe: false,
+            capture: CaptureMode::Eager,
+            stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
         }
     }
 
     /// A full injector-run hook that throws at the `injection_point`-th
-    /// potential point (1-based) and performs atomicity checks.
+    /// potential point (1-based) and performs atomicity checks with eager
+    /// capture. Use [`InjectionHook::capture`] to switch capture modes.
     pub fn with_injection_point(injection_point: u64) -> Self {
         InjectionHook {
             point: 0,
             injection_point: Some(injection_point),
             observe: true,
+            capture: CaptureMode::Eager,
+            stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
         }
@@ -68,9 +110,24 @@ impl InjectionHook {
             point: 0,
             injection_point: None,
             observe: true,
+            capture: CaptureMode::Eager,
+            stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
         }
+    }
+
+    /// Selects how pre-call state is captured (builder style; default for
+    /// the direct constructors is [`CaptureMode::Eager`], the paper's
+    /// literal wrapper).
+    pub fn capture(mut self, mode: CaptureMode) -> Self {
+        self.capture = mode;
+        self
+    }
+
+    /// Capture-cost counters accumulated so far this run.
+    pub fn capture_stats(&self) -> CaptureStats {
+        self.stats
     }
 
     /// Total potential injection points seen so far (the final value after
@@ -93,6 +150,14 @@ impl InjectionHook {
     /// Consumes the hook, returning its marks.
     pub fn into_marks(self) -> Vec<Mark> {
         self.marks
+    }
+
+    /// Listing 1's `mark(m, atomic|nonatomic, InjectionPoint)`.
+    fn push_mark(&mut self, site: &CallSite, exc: &Exception, before: &Snapshot, after: &Snapshot) {
+        self.marks.push(match before.first_difference(after) {
+            None => Mark::atomic(site.method, exc.chain),
+            Some(diff) => Mark::nonatomic(site.method, exc.chain, diff),
+        });
     }
 }
 
@@ -122,10 +187,23 @@ impl CallHook for InjectionHook {
         if !self.observe {
             return Ok(None);
         }
-        // Listing 1 line 6: objgraph_before = deep_copy(this) — including
-        // by-reference arguments.
-        let before = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
-        Ok(Some(Box::new(before)))
+        match self.capture {
+            CaptureMode::Eager => {
+                // Listing 1 line 6: objgraph_before = deep_copy(this) —
+                // including by-reference arguments.
+                let before = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
+                self.stats.snapshots += 1;
+                self.stats.capture_bytes += before.approx_bytes();
+                Ok(Some(Box::new(CaptureGuard::Eager(before))))
+            }
+            CaptureMode::Lazy => {
+                // Defer the copy: record writes instead. The layer is
+                // closed (committed) in `after` on both outcomes, so the
+                // heap's net state is untouched either way.
+                vm.heap_mut().push_journal();
+                Ok(Some(Box::new(CaptureGuard::Lazy)))
+            }
+        }
     }
 
     fn after(
@@ -135,17 +213,40 @@ impl CallHook for InjectionHook {
         guard: HookGuard,
         outcome: MethodResult,
     ) -> MethodResult {
-        if let Err(exc) = &outcome {
-            if let Some(guard) = guard {
-                let before = guard
-                    .downcast::<Snapshot>()
-                    .expect("injection guard is a snapshot");
+        let Some(guard) = guard else {
+            return outcome;
+        };
+        let guard = guard
+            .downcast::<CaptureGuard>()
+            .expect("injection guard is a capture guard");
+        match (*guard, &outcome) {
+            (CaptureGuard::Eager(_), Ok(_)) => {}
+            (CaptureGuard::Eager(before), Err(exc)) => {
                 let after = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
-                // Listing 1 lines 10-14: compare and mark, then rethrow.
-                self.marks.push(match before.first_difference(&after) {
-                    None => Mark::atomic(site.method, exc.chain),
-                    Some(diff) => Mark::nonatomic(site.method, exc.chain, diff),
-                });
+                self.stats.snapshots += 1;
+                self.stats.capture_bytes += after.approx_bytes();
+                self.push_mark(site, exc, &before, &after);
+            }
+            (CaptureGuard::Lazy, Ok(_)) => {
+                // The call completed: nobody will ever compare against its
+                // before-state. Fold the layer into the enclosing one
+                // (O(1) watermark pop) — no snapshot was ever taken.
+                vm.heap_mut().commit_journal();
+            }
+            (CaptureGuard::Lazy, Err(exc)) => {
+                // Listing 1 lines 10-14, lazily: reconstruct the
+                // before-graph from the undo log, trace the live heap for
+                // the after-graph, compare, mark, then fold the layer.
+                let heap = vm.heap();
+                let asof = heap
+                    .asof_innermost()
+                    .expect("lazy capture layer is open in after()");
+                let before = Snapshot::of_source(&asof, &snapshot_roots(site));
+                let after = Snapshot::of_roots(heap, &snapshot_roots(site));
+                self.stats.snapshots += 2;
+                self.stats.capture_bytes += before.approx_bytes() + after.approx_bytes();
+                self.push_mark(site, exc, &before, &after);
+                vm.heap_mut().commit_journal();
             }
         }
         outcome
@@ -246,6 +347,65 @@ mod tests {
         let (_, hook, r) = run_with_point(99);
         assert!(r.is_ok());
         assert!(hook.borrow().injected().is_none());
+    }
+
+    #[test]
+    fn lazy_capture_matches_eager_marks_with_fewer_snapshots() {
+        let run = |ip: u64, mode: CaptureMode| {
+            let mut vm = Vm::new(registry());
+            let hook = Rc::new(RefCell::new(
+                InjectionHook::with_injection_point(ip).capture(mode),
+            ));
+            vm.set_hook(Some(hook.clone()));
+            let t = vm.construct("T", &[]).unwrap();
+            vm.root(t);
+            let _ = vm.call(t, "outer", &[]);
+            vm.set_hook(None);
+            assert_eq!(
+                vm.heap().journal_depth(),
+                0,
+                "every capture layer was closed"
+            );
+            let hook = Rc::try_unwrap(hook).unwrap().into_inner();
+            (hook.capture_stats(), hook.into_marks())
+        };
+        // Point 3 injects into inner: the exception unwinds through
+        // outer's wrapper, so both modes compare — and must agree.
+        let (eager_stats, eager_marks) = run(3, CaptureMode::Eager);
+        let (lazy_stats, lazy_marks) = run(3, CaptureMode::Lazy);
+        assert_eq!(
+            lazy_marks, eager_marks,
+            "identical marks, chain ids included"
+        );
+        assert!(
+            lazy_stats.snapshots <= eager_stats.snapshots,
+            "lazy {lazy_stats:?} vs eager {eager_stats:?}"
+        );
+        // Point 99 never fires: the run completes and nothing unwinds.
+        // Eager still paid one before-copy per observed call; lazy paid
+        // for no snapshots at all.
+        let (eager_ok, _) = run(99, CaptureMode::Eager);
+        let (lazy_ok, _) = run(99, CaptureMode::Lazy);
+        assert_eq!(eager_ok.snapshots, 2, "one before-copy per observed call");
+        assert_eq!(lazy_ok.snapshots, 0, "no exception, no capture at all");
+    }
+
+    #[test]
+    fn lazy_capture_closes_its_layer_on_success_too() {
+        let mut vm = Vm::new(registry());
+        let hook = Rc::new(RefCell::new(
+            InjectionHook::observing().capture(CaptureMode::Lazy),
+        ));
+        vm.set_hook(Some(hook.clone()));
+        let t = vm.construct("T", &[]).unwrap();
+        vm.root(t);
+        vm.call(t, "outer", &[]).unwrap();
+        assert_eq!(vm.heap().journal_depth(), 0);
+        assert_eq!(
+            hook.borrow().capture_stats().snapshots,
+            0,
+            "no exception propagated, so nothing was ever traced"
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ use atomask_mor::{ExcId, MethodId};
 use std::fmt;
 
 /// Magic first line of the text form; bump the version on format changes.
-const HEADER: &str = "atomask-campaign-journal v1";
+/// v2 added the per-run capture stats (`snapshots`, `capture_bytes`) to
+/// the `run` line.
+const HEADER: &str = "atomask-campaign-journal v2";
 
 /// Append-only record of a (possibly partial) detection campaign.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,9 +72,10 @@ impl CampaignJournal {
         self.baseline = Some((total_points, baseline_calls.to_vec()));
     }
 
-    /// Appends one finished run.
-    pub fn record_run(&mut self, run: RunResult) {
-        self.runs.push(run);
+    /// Appends one finished run (cloned into the journal, so callers keep
+    /// ownership of theirs).
+    pub fn record_run(&mut self, run: &RunResult) {
+        self.runs.push(run.clone());
     }
 
     /// The journaled result for `injection_point`, if that run finished.
@@ -123,11 +126,13 @@ impl CampaignJournal {
                 Some((m, e)) => format!("{},{}", m.into_raw(), e.into_raw()),
             };
             out.push_str(&format!(
-                "run\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                "run\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 run.injection_point,
                 run.outcome.as_str(),
                 run.retries,
                 run.fuel_spent,
+                run.snapshots,
+                run.capture_bytes,
                 injected,
                 opt_str(&run.top_error),
             ));
@@ -183,10 +188,10 @@ impl CampaignJournal {
                     };
                     journal.baseline = Some((points, calls));
                 }
-                "run" if fields.len() == 7 => {
+                "run" if fields.len() == 9 => {
                     let outcome = RunOutcome::parse(fields[2])
                         .ok_or_else(|| fail(lineno, "unknown run outcome"))?;
-                    let injected = match fields[5] {
+                    let injected = match fields[7] {
                         "-" => None,
                         pair => {
                             let (m, e) = pair
@@ -202,10 +207,12 @@ impl CampaignJournal {
                         injection_point: parse_u64(fields[1], lineno, "injection point")?,
                         injected,
                         marks: Vec::new(),
-                        top_error: parse_opt_str(fields[6], lineno)?,
+                        top_error: parse_opt_str(fields[8], lineno)?,
                         outcome,
                         retries: parse_u32(fields[3], lineno, "retries")?,
                         fuel_spent: parse_u64(fields[4], lineno, "fuel")?,
+                        snapshots: parse_u64(fields[5], lineno, "snapshots")?,
+                        capture_bytes: parse_u64(fields[6], lineno, "capture bytes")?,
                     });
                 }
                 "mark" if fields.len() == 5 => {
@@ -330,6 +337,8 @@ mod tests {
             outcome: RunOutcome::Completed,
             retries: 1,
             fuel_spent: 123,
+            snapshots: 5,
+            capture_bytes: 640,
         }
     }
 
@@ -338,8 +347,8 @@ mod tests {
         let mut j = CampaignJournal::new();
         j.bind("demo");
         j.record_baseline(7, &[0, 2, 5]);
-        j.record_run(sample_run(1));
-        j.record_run(RunResult::skipped(2));
+        j.record_run(&sample_run(1));
+        j.record_run(&RunResult::skipped(2));
         let parsed = CampaignJournal::parse(&j.serialize()).unwrap();
         assert_eq!(parsed, j);
     }
@@ -349,7 +358,7 @@ mod tests {
         let mut run = sample_run(1);
         run.top_error = Some("-".to_owned());
         let mut j = CampaignJournal::new();
-        j.record_run(run.clone());
+        j.record_run(&run);
         let parsed = CampaignJournal::parse(&j.serialize()).unwrap();
         assert_eq!(parsed.runs()[0], run);
     }
@@ -357,7 +366,7 @@ mod tests {
     #[test]
     fn run_for_finds_journaled_points() {
         let mut j = CampaignJournal::new();
-        j.record_run(sample_run(4));
+        j.record_run(&sample_run(4));
         assert!(j.run_for(4).is_some());
         assert!(j.run_for(1).is_none());
         assert_eq!(j.len(), 1);
@@ -367,8 +376,8 @@ mod tests {
     #[test]
     fn truncation_simulates_interruption() {
         let mut j = CampaignJournal::new();
-        j.record_run(sample_run(1));
-        j.record_run(sample_run(2));
+        j.record_run(&sample_run(1));
+        j.record_run(&sample_run(2));
         j.truncate_runs(1);
         assert_eq!(j.len(), 1);
         assert!(j.run_for(2).is_none());

@@ -75,13 +75,14 @@ mod suggest;
 
 pub use analyzer::{method_injection_plan, InjectionPlan};
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignResult, RetryPolicy, RunHealth, RunOutcome, RunResult,
+    silent_diagnostics, stderr_diagnostics, Campaign, CampaignConfig, CampaignResult,
+    DiagnosticsFn, RetryPolicy, RunHealth, RunOutcome, RunResult,
 };
 pub use classify::{
     classify, ClassRollup, ClassVerdictCounts, Classification, MarkFilter, MethodClassification,
     Verdict, VerdictCounts,
 };
-pub use hook::InjectionHook;
+pub use hook::{CaptureMode, CaptureStats, InjectionHook};
 pub use journal::{CampaignJournal, JournalParseError};
 pub use marks::Mark;
 pub use suggest::suggest_exception_free;

@@ -206,6 +206,7 @@ proptest! {
             budget: Budget::fuel(3),
             retry: atomask_inject::RetryPolicy::none(),
             max_failures: None,
+            ..CampaignConfig::default()
         };
         let result = Campaign::new(&p).config(config).run();
         prop_assert_eq!(result.runs.len() as u64, result.total_points);

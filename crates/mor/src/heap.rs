@@ -53,14 +53,24 @@ pub struct HeapStats {
     pub collected: u64,
 }
 
-/// One layer of the write journal: the undo information for a region of
-/// execution (see [`Heap::push_journal`]).
+/// The write journal: one flat undo log shared by every open layer.
+///
+/// A *layer* is a pair of watermarks into the shared `writes`/`allocs`
+/// logs; the entries recorded since the innermost watermark belong to the
+/// innermost layer. Committing a layer therefore merges its entries into
+/// the enclosing layer for free (pop the watermark, keep the entries),
+/// instead of moving `O(entries)` values per nesting level as a
+/// per-layer-vector representation would.
 #[derive(Debug, Default)]
-struct Journal {
-    /// `(object, field slot, previous value)` in write order.
+struct JournalLog {
+    /// `(object, field slot, previous value)` in write order, across all
+    /// open layers.
     writes: Vec<(ObjId, usize, Value)>,
-    /// Objects allocated while this journal was active.
+    /// Objects allocated while any layer was open, in allocation order.
     allocs: Vec<ObjId>,
+    /// Open layers, outermost first: `(writes watermark, allocs
+    /// watermark)` at the moment the layer was pushed.
+    layers: Vec<(usize, usize)>,
 }
 
 /// The managed heap.
@@ -72,7 +82,7 @@ pub struct Heap {
     roots: HashMap<ObjId, usize>,
     next_id: u64,
     stats: HeapStats,
-    journals: Vec<Journal>,
+    journal: JournalLog,
 }
 
 impl Heap {
@@ -85,7 +95,7 @@ impl Heap {
             roots: HashMap::new(),
             next_id: 1,
             stats: HeapStats::default(),
-            journals: Vec::new(),
+            journal: JournalLog::default(),
         }
     }
 
@@ -116,8 +126,8 @@ impl Heap {
             },
         );
         self.stats.allocated += 1;
-        if let Some(journal) = self.journals.last_mut() {
-            journal.allocs.push(id);
+        if !self.journal.layers.is_empty() {
+            self.journal.allocs.push(id);
         }
         id
     }
@@ -186,8 +196,8 @@ impl Heap {
         }
         let obj = self.objects.get_mut(&id).expect("checked live above");
         let old = std::mem::replace(&mut obj.fields[slot], value);
-        if let Some(journal) = self.journals.last_mut() {
-            journal.writes.push((id, slot, old.clone()));
+        if !self.journal.layers.is_empty() {
+            self.journal.writes.push((id, slot, old.clone()));
         }
         if let Some(target) = old.as_ref_id() {
             self.dec_ref(target);
@@ -354,37 +364,43 @@ impl Heap {
     /// graph, record the writes actually performed and replay them
     /// backwards on failure.
     pub fn push_journal(&mut self) {
-        self.journals.push(Journal::default());
+        self.journal
+            .layers
+            .push((self.journal.writes.len(), self.journal.allocs.len()));
     }
 
     /// Number of open journal layers.
     pub fn journal_depth(&self) -> usize {
-        self.journals.len()
+        self.journal.layers.len()
     }
 
     /// Entries recorded in the innermost open layer (writes, allocations).
     pub fn journal_len(&self) -> (usize, usize) {
-        self.journals
+        self.journal
+            .layers
             .last()
-            .map(|j| (j.writes.len(), j.allocs.len()))
+            .map(|&(w, a)| (self.journal.writes.len() - w, self.journal.allocs.len() - a))
             .unwrap_or((0, 0))
     }
 
     /// Closes the innermost layer, keeping its effects. If an outer layer
-    /// is open, the entries are merged into it so an outer abort still
-    /// undoes them.
+    /// is open, the entries become part of it so an outer abort still
+    /// undoes them — an `O(1)` watermark pop on the flat log, regardless
+    /// of how many writes the layer recorded.
     ///
     /// # Panics
     ///
     /// Panics if no layer is open.
     pub fn commit_journal(&mut self) {
-        let inner = self
-            .journals
+        self.journal
+            .layers
             .pop()
             .expect("commit_journal: no open journal");
-        if let Some(outer) = self.journals.last_mut() {
-            outer.writes.extend(inner.writes);
-            outer.allocs.extend(inner.allocs);
+        if self.journal.layers.is_empty() {
+            // Outermost layer closed: nothing can roll these entries back
+            // any more, so release the log.
+            self.journal.writes.clear();
+            self.journal.allocs.clear();
         }
     }
 
@@ -397,9 +413,16 @@ impl Heap {
     ///
     /// Panics if no layer is open.
     pub fn abort_journal(&mut self) -> usize {
-        let inner = self.journals.pop().expect("abort_journal: no open journal");
-        let undone = inner.writes.len();
-        for (id, slot, old) in inner.writes.into_iter().rev() {
+        let (writes_mark, allocs_mark) = self
+            .journal
+            .layers
+            .pop()
+            .expect("abort_journal: no open journal");
+        let undone = self.journal.writes.len() - writes_mark;
+        let rollback: Vec<(ObjId, usize, Value)> =
+            self.journal.writes.drain(writes_mark..).collect();
+        self.journal.allocs.truncate(allocs_mark);
+        for (id, slot, old) in rollback.into_iter().rev() {
             // Bypass journaling (the net effect must not be re-recorded),
             // but maintain reference counts.
             if let Some(target) = old.as_ref_id() {
@@ -417,6 +440,31 @@ impl Heap {
         undone
     }
 
+    /// Read-only view of the heap **as it was when the innermost open
+    /// journal layer was pushed**, reconstructed from the undo log:
+    /// journaled writes are overlaid first-write-wins (the first recorded
+    /// `old` value per field is the value at layer-open time) and objects
+    /// allocated under the layer are treated as absent. Returns `None`
+    /// when no layer is open.
+    ///
+    /// This is the paper's §6.2 capture optimization turned around: the
+    /// detection wrapper's "deep copy before the call" becomes an
+    /// `O(writes)` overlay over the live heap instead of an `O(graph)`
+    /// eager snapshot.
+    pub fn asof_innermost(&self) -> Option<AsOfHeap<'_>> {
+        let &(writes_mark, allocs_mark) = self.journal.layers.last()?;
+        let mut overlay: HashMap<(ObjId, usize), &Value> = HashMap::new();
+        for (id, slot, old) in &self.journal.writes[writes_mark..] {
+            overlay.entry((*id, *slot)).or_insert(old);
+        }
+        let born = self.journal.allocs[allocs_mark..].iter().copied().collect();
+        Some(AsOfHeap {
+            heap: self,
+            overlay,
+            born,
+        })
+    }
+
     fn inc_ref(&mut self, id: ObjId) {
         *self.refcounts.entry(id).or_insert(0) += 1;
     }
@@ -428,6 +476,41 @@ impl Heap {
                 self.refcounts.remove(&id);
             }
         }
+    }
+}
+
+/// A read-only view of a [`Heap`] as of the innermost open journal layer
+/// (see [`Heap::asof_innermost`]).
+#[derive(Debug)]
+pub struct AsOfHeap<'h> {
+    heap: &'h Heap,
+    /// First-write-wins overlay: the field's value at layer-open time.
+    overlay: HashMap<(ObjId, usize), &'h Value>,
+    /// Objects allocated under the layer — absent from the view.
+    born: std::collections::HashSet<ObjId>,
+}
+
+impl AsOfHeap<'_> {
+    /// The object's class and field values as of layer-open time, or
+    /// `None` if the object did not exist then (allocated under the layer,
+    /// or dead in the underlying heap).
+    ///
+    /// Objects live at layer-open time cannot have died since — deferred
+    /// reclamation only runs between top-level calls, never while a
+    /// wrapper's layer is open — so reading through the live heap plus the
+    /// overlay is exact.
+    pub fn node(&self, id: ObjId) -> Option<(ClassId, Vec<Value>)> {
+        if self.born.contains(&id) {
+            return None;
+        }
+        let obj = self.heap.get(id)?;
+        let mut fields = obj.fields().to_vec();
+        for (slot, field) in fields.iter_mut().enumerate() {
+            if let Some(old) = self.overlay.get(&(id, slot)) {
+                *field = (*old).clone();
+            }
+        }
+        Some((obj.class_id(), fields))
     }
 }
 
@@ -650,6 +733,49 @@ mod tests {
     fn abort_without_journal_panics() {
         let mut h = heap();
         h.abort_journal();
+    }
+
+    #[test]
+    fn asof_view_reconstructs_layer_open_state() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        assert!(h.asof_innermost().is_none(), "no layer open");
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        h.set_field(a, "value", Value::Int(3)).unwrap();
+        let b = alloc_node(&mut h);
+        h.set_field(a, "next", Value::Ref(b)).unwrap();
+        let asof = h.asof_innermost().unwrap();
+        let (_, fields) = asof.node(a).unwrap();
+        // First-write-wins: `value` reads 1 (the layer-open value, not 2),
+        // `next` reads Null.
+        assert_eq!(fields[1], Value::Int(1));
+        assert_eq!(fields[0], Value::Null);
+        // Objects allocated under the layer did not exist at layer open.
+        assert!(asof.node(b).is_none());
+    }
+
+    #[test]
+    fn asof_view_sees_through_inner_committed_layers() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.push_journal(); // outer (the observing wrapper's layer)
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        h.push_journal(); // inner (a nested wrapped call)
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        h.commit_journal(); // inner completes normally
+        let asof = h.asof_innermost().unwrap();
+        let (_, fields) = asof.node(a).unwrap();
+        assert_eq!(
+            fields[1],
+            Value::Int(0),
+            "committed inner writes still overlay back to the outer layer's open state"
+        );
+        h.commit_journal();
+        assert_eq!(h.journal_len(), (0, 0));
     }
 
     #[test]

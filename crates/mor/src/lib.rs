@@ -84,7 +84,7 @@ pub use class::{ClassBuilder, ClassDef, FieldDef, MethodCfg, MethodDef, CTOR_NAM
 pub use ctx::Ctx;
 pub use error::MorError;
 pub use exception::{Exception, ExceptionTable, MethodResult};
-pub use heap::{Heap, HeapStats, Object};
+pub use heap::{AsOfHeap, Heap, HeapStats, Object};
 pub use hook::{CallHook, CallKind, CallSite, HookChain, HookGuard};
 pub use ids::{ClassId, ExcId, MethodId, ObjId};
 pub use profile::{Lang, Profile};

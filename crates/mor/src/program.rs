@@ -10,7 +10,13 @@ use crate::registry::Registry;
 use crate::vm::Vm;
 
 /// A deterministic guest program.
-pub trait Program {
+///
+/// Programs are `Sync` because a detection campaign shards its injection
+/// points across worker threads, each of which calls
+/// [`Program::build_registry`] to get a private single-threaded VM
+/// universe. The *registry* and *VM* stay thread-local (method bodies are
+/// `Rc`-shared closures); only the program value itself is shared.
+pub trait Program: Sync {
     /// Program name, used in reports (e.g. `"LinkedList"`).
     fn name(&self) -> &str;
 
@@ -50,16 +56,20 @@ pub trait Program {
 /// ```
 pub struct FnProgram {
     name: String,
-    build: Box<dyn Fn() -> Registry>,
-    run: Box<dyn Fn(&mut Vm) -> MethodResult>,
+    build: Box<dyn Fn() -> Registry + Send + Sync>,
+    run: Box<dyn Fn(&mut Vm) -> MethodResult + Send + Sync>,
 }
 
 impl FnProgram {
     /// Creates a program from a name, a registry factory and a driver.
+    ///
+    /// Both closures must be `Send + Sync` (see [`Program`]): campaign
+    /// workers call them from their own threads. Closures capturing only
+    /// owned data (or nothing) satisfy this automatically.
     pub fn new(
         name: impl Into<String>,
-        build: impl Fn() -> Registry + 'static,
-        run: impl Fn(&mut Vm) -> MethodResult + 'static,
+        build: impl Fn() -> Registry + Send + Sync + 'static,
+        run: impl Fn(&mut Vm) -> MethodResult + Send + Sync + 'static,
     ) -> Self {
         FnProgram {
             name: name.into(),

@@ -33,4 +33,4 @@ mod trace;
 
 pub use checkpoint::Checkpoint;
 pub use size::{graph_size, GraphSize};
-pub use trace::Snapshot;
+pub use trace::{GraphSource, Snapshot};

@@ -8,8 +8,31 @@
 //! Definition 1 (same shape, same class labels, same field values, same
 //! sharing), regardless of the underlying [`ObjId`]s.
 
-use atomask_mor::{ClassId, Heap, ObjId, Value};
+use atomask_mor::{AsOfHeap, ClassId, Heap, ObjId, Value};
 use std::collections::HashMap;
+
+/// Anything a canonical trace can be captured from: a live [`Heap`] or a
+/// reconstructed historical view of one ([`AsOfHeap`]). Implementations
+/// return the class and field values of a live object, or `None` for a
+/// dangling reference.
+pub trait GraphSource {
+    /// The object's class and field values, or `None` if it is not live
+    /// in this view.
+    fn node(&self, id: ObjId) -> Option<(ClassId, Vec<Value>)>;
+}
+
+impl GraphSource for Heap {
+    fn node(&self, id: ObjId) -> Option<(ClassId, Vec<Value>)> {
+        self.get(id)
+            .map(|obj| (obj.class_id(), obj.fields().to_vec()))
+    }
+}
+
+impl GraphSource for AsOfHeap<'_> {
+    fn node(&self, id: ObjId) -> Option<(ClassId, Vec<Value>)> {
+        AsOfHeap::node(self, id)
+    }
+}
 
 /// One event of a canonical trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +95,15 @@ impl Snapshot {
     /// Visit indices are shared across roots, so sharing *between* the
     /// receiver's graph and argument graphs is part of the canonical form.
     pub fn of_roots(heap: &Heap, roots: &[ObjId]) -> Self {
+        Self::of_source(heap, roots)
+    }
+
+    /// Captures the combined object graphs of several roots from any
+    /// [`GraphSource`] — a live heap or an as-of view reconstructed from
+    /// an undo log.
+    pub fn of_source<S: GraphSource>(source: &S, roots: &[ObjId]) -> Self {
         let mut tracer = Tracer {
-            heap,
+            source,
             events: Vec::new(),
             visited: HashMap::new(),
         };
@@ -93,6 +123,20 @@ impl Snapshot {
     /// Number of distinct objects in the captured graph(s).
     pub fn object_count(&self) -> usize {
         self.objects
+    }
+
+    /// Deterministic estimate of the snapshot's in-memory size: 16 bytes
+    /// per trace event plus the payload of string leaves. Used by capture
+    /// accounting (`capture_bytes` in campaign run results), not by
+    /// comparison.
+    pub fn approx_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Str(s) => 16 + s.len() as u64,
+                _ => 16,
+            })
+            .sum()
     }
 
     /// Human-readable description of the first difference from `other`,
@@ -115,13 +159,13 @@ impl Snapshot {
     }
 }
 
-struct Tracer<'h> {
-    heap: &'h Heap,
+struct Tracer<'s, S> {
+    source: &'s S,
     events: Vec<Event>,
     visited: HashMap<ObjId, usize>,
 }
 
-impl Tracer<'_> {
+impl<S: GraphSource> Tracer<'_, S> {
     fn visit(&mut self, value: &Value) {
         match value {
             Value::Null => self.events.push(Event::Null),
@@ -134,17 +178,16 @@ impl Tracer<'_> {
                     self.events.push(Event::Back(idx));
                     return;
                 }
-                let Some(obj) = self.heap.get(*id) else {
+                // The source hands out an owned field vector, so traversal
+                // does not hold a heap borrow across recursion (fields are
+                // cheap values).
+                let Some((class, fields)) = self.source.node(*id) else {
                     self.events.push(Event::Dangling);
                     return;
                 };
                 let idx = self.visited.len();
                 self.visited.insert(*id, idx);
-                self.events
-                    .push(Event::Enter(obj.class_id(), obj.fields().len()));
-                // Clone the field vector so traversal does not hold a heap
-                // borrow across recursion (fields are cheap values).
-                let fields: Vec<Value> = obj.fields().to_vec();
+                self.events.push(Event::Enter(class, fields.len()));
                 for f in &fields {
                     self.visit(f);
                 }
@@ -305,6 +348,41 @@ mod tests {
         let s = Snapshot::of(vm.heap(), a);
         assert_eq!(s.object_count(), 1);
         assert_eq!(s, Snapshot::of(vm.heap(), a));
+    }
+
+    #[test]
+    fn asof_snapshot_equals_the_eager_before_snapshot() {
+        // Capture eagerly, mutate under a journal layer, then reconstruct
+        // the before-state from the undo log: the two canonical traces
+        // must be identical events, not merely equivalent.
+        let mut vm = vm();
+        let a = node(&mut vm, 1);
+        let b = node(&mut vm, 2);
+        vm.heap_mut().set_field(a, "next", Value::Ref(b)).unwrap();
+        let eager = Snapshot::of(vm.heap(), a);
+        vm.heap_mut().push_journal();
+        let c = node(&mut vm, 3);
+        vm.heap_mut().set_field(a, "next", Value::Ref(c)).unwrap();
+        vm.heap_mut().set_field(b, "value", Value::Int(9)).unwrap();
+        let asof = vm.heap().asof_innermost().unwrap();
+        let lazy = Snapshot::of_source(&asof, &[a]);
+        assert_eq!(lazy, eager);
+        assert_eq!(lazy.approx_bytes(), eager.approx_bytes());
+        // And the live heap has of course moved on.
+        assert_ne!(Snapshot::of(vm.heap(), a), eager);
+    }
+
+    #[test]
+    fn approx_bytes_counts_events_and_string_payloads() {
+        let mut vm = vm();
+        let a = node(&mut vm, 1);
+        let plain = Snapshot::of(vm.heap(), a);
+        assert_eq!(plain.approx_bytes(), 3 * 16, "Enter + Null + Int");
+        vm.heap_mut()
+            .set_field(a, "value", Value::Str("hello".to_owned()))
+            .unwrap();
+        let stringy = Snapshot::of(vm.heap(), a);
+        assert_eq!(stringy.approx_bytes(), 3 * 16 + 5);
     }
 
     #[test]

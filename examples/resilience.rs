@@ -73,6 +73,7 @@ fn main() {
         budget: Budget::fuel(20_000),
         retry: RetryPolicy::none(),
         max_failures: None,
+        ..CampaignConfig::default()
     };
 
     let full = Campaign::new(&program).config(config).run();

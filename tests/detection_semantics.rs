@@ -180,6 +180,7 @@ fn resilient_config() -> CampaignConfig {
         budget: Budget::fuel(20_000),
         retry: RetryPolicy::none(),
         max_failures: None,
+        ..CampaignConfig::default()
     }
 }
 

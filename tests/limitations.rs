@@ -4,8 +4,7 @@
 use atomask_suite::{
     classify, Campaign, FnProgram, MarkFilter, Profile, RegistryBuilder, Value, Verdict,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// §4.4 limitation 1: methods with *external* side effects (writing to a
 /// file, sending a packet) are outside the definition of failure
@@ -14,8 +13,9 @@ use std::rc::Rc;
 /// left half its output behind.
 #[test]
 fn external_side_effects_are_invisible() {
-    // The "file" lives outside the heap, as host state.
-    let file: Rc<RefCell<Vec<i64>>> = Rc::new(RefCell::new(Vec::new()));
+    // The "file" lives outside the heap, as host state. (Arc + Mutex so the
+    // program closures stay shareable across campaign worker threads.)
+    let file: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
     let file_in_body = file.clone();
     let program = FnProgram::new(
         "external",
@@ -30,9 +30,9 @@ fn external_side_effects_are_invisible() {
                     let v = args[0].as_int().unwrap_or(0);
                     // External write, then a throwing call, then another:
                     // a failure leaves the "file" half-written.
-                    file.borrow_mut().push(v);
+                    file.lock().unwrap().push(v);
                     ctx.call(this, "helper", &[])?;
-                    file.borrow_mut().push(v);
+                    file.lock().unwrap().push(v);
                     Ok(Value::Null)
                 });
             });
@@ -53,8 +53,13 @@ fn external_side_effects_are_invisible() {
         "external side effects are not covered by Def. 2"
     );
     // ...even though some injected run really did tear it.
-    let torn = file.borrow().windows(2).filter(|w| w[0] != w[1]).count();
-    let len = file.borrow().len();
+    let torn = file
+        .lock()
+        .unwrap()
+        .windows(2)
+        .filter(|w| w[0] != w[1])
+        .count();
+    let len = file.lock().unwrap().len();
     assert!(
         len % 2 == 1 || torn > 0 || len > 0,
         "the campaign exercised the external path"
