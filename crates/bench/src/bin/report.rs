@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! report [table1|fig2|fig3|fig4|fig5|casestudy|perf|all] [--quick]
+//! report repro --app <name> --point <n>
 //! ```
 //!
 //! `--quick` caps every campaign at 300 injection points and shrinks the
@@ -10,13 +11,63 @@
 //! `perf` profiles the detection campaigns — sequential vs. sharded sweep
 //! wall time and eager vs. lazy capture cost — and writes the results to
 //! `BENCH_detection.json` (worker count from `ATOMASK_WORKERS`, default 4).
+//!
+//! `repro` replays one injection point of one suite application with the
+//! flight recorder on: it prints the full event trace, the minimized
+//! divergence, and a comparison against a fresh campaign's recorded
+//! classification of the same point.
 
 use atomask::report::{
     render_case_study, render_class_distribution, render_method_classification, render_overhead,
-    render_run_health, render_table1,
+    render_replay, render_run_health, render_table1,
 };
 use atomask::{classify, overhead, Campaign, Lang, MarkFilter};
 use atomask_bench::{detection_perf_json, evaluate_apps, measure_detection};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn repro(args: &[String]) {
+    let usage = "usage: report repro --app <name> --point <n>";
+    let app = flag_value(args, "--app").unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let point: u64 = flag_value(args, "--point")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        });
+    let program = atomask::apps::program_by_name(&app).unwrap_or_else(|| {
+        let known: Vec<&str> = atomask::apps::all_apps().iter().map(|a| a.name).collect();
+        eprintln!("unknown application `{app}`; known: {}", known.join(", "));
+        std::process::exit(2);
+    });
+    let replay = Campaign::new(&program).replay(point);
+    print!("{}", render_replay(&replay));
+    // Cross-check: a fresh campaign over the same point records the same
+    // marks bit for bit.
+    let swept = Campaign::new(&program).max_points(point).run();
+    match swept.runs.iter().find(|r| r.injection_point == point) {
+        Some(recorded) if recorded.marks == replay.run.marks => {
+            println!("cross-check: replay matches the campaign's recorded classification");
+        }
+        Some(recorded) => {
+            println!(
+                "cross-check: MISMATCH — campaign recorded {} mark(s), replay {}",
+                recorded.marks.len(),
+                replay.run.marks.len()
+            );
+            std::process::exit(1);
+        }
+        None => println!("cross-check: point {point} beyond the campaign's sweep"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +78,11 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
     let cap = if quick { Some(300) } else { None };
+
+    if what == "repro" {
+        repro(&args);
+        return;
+    }
 
     let needs_eval = matches!(what, "table1" | "fig2" | "fig3" | "fig4" | "all");
     let rows = if needs_eval {

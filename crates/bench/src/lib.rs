@@ -11,7 +11,7 @@
 #![warn(missing_docs)]
 
 use atomask::report::{evaluate, AppEvaluation};
-use atomask::{Campaign, CampaignConfig, CaptureMode, Lang};
+use atomask::{Campaign, CampaignConfig, CaptureMode, Lang, TraceMode, DEFAULT_RING_CAPACITY};
 use atomask_apps::AppSpec;
 use std::time::Instant;
 
@@ -56,6 +56,13 @@ pub struct DetectionPerf {
     pub capture_bytes_eager: u64,
     /// Approximate bytes captured by the lazy-capture sweep.
     pub capture_bytes_lazy: u64,
+    /// Wall time of a second sequential lazy sweep with tracing explicitly
+    /// off, ns — the flight recorder's no-op-path cost (expected to be
+    /// measurement noise; the acceptance bound is < 10%).
+    pub noop_trace_ns: u128,
+    /// Wall time of a sequential lazy sweep with a per-run ring-buffer
+    /// sink installed, ns.
+    pub ring_trace_ns: u128,
 }
 
 impl DetectionPerf {
@@ -100,6 +107,24 @@ impl DetectionPerf {
         }
         self.eager_ns as f64 / self.parallel_ns as f64
     }
+
+    /// Percentage overhead of the disabled flight recorder over the
+    /// baseline sweep (noise-level by construction; can be negative).
+    pub fn trace_noop_overhead_pct(&self) -> f64 {
+        if self.sequential_ns == 0 {
+            return 0.0;
+        }
+        100.0 * (self.noop_trace_ns as f64 / self.sequential_ns as f64 - 1.0)
+    }
+
+    /// Percentage overhead of a live ring-buffer sink over the baseline
+    /// sweep.
+    pub fn trace_ring_overhead_pct(&self) -> f64 {
+        if self.sequential_ns == 0 {
+            return 0.0;
+        }
+        100.0 * (self.ring_trace_ns as f64 / self.sequential_ns as f64 - 1.0)
+    }
 }
 
 fn timed_sweep(
@@ -107,11 +132,13 @@ fn timed_sweep(
     cap: Option<u64>,
     workers: usize,
     capture: CaptureMode,
+    trace: TraceMode,
 ) -> (u128, u64, u64, u64) {
     let program = spec.program();
     let mut campaign = Campaign::new(&program).config(CampaignConfig {
         workers,
         capture,
+        trace,
         ..CampaignConfig::default()
     });
     if let Some(cap) = cap {
@@ -130,14 +157,24 @@ fn timed_sweep(
 }
 
 /// Profiles one application's detection campaign: a sequential and a
-/// `workers`-way sharded sweep under lazy capture (for the speedup), plus
-/// a sequential eager-capture sweep (for the capture-cost baseline).
+/// `workers`-way sharded sweep under lazy capture (for the speedup), a
+/// sequential eager-capture sweep (for the capture-cost baseline), and
+/// two tracing sweeps (disabled recorder and live ring sink). Every sweep
+/// pins its [`TraceMode`] so `ATOMASK_TRACE` cannot skew the numbers.
 pub fn measure_detection(spec: &AppSpec, cap: Option<u64>, workers: usize) -> DetectionPerf {
     let (sequential_ns, points, snapshots_lazy, capture_bytes_lazy) =
-        timed_sweep(spec, cap, 1, CaptureMode::Lazy);
-    let (parallel_ns, _, _, _) = timed_sweep(spec, cap, workers, CaptureMode::Lazy);
+        timed_sweep(spec, cap, 1, CaptureMode::Lazy, TraceMode::Off);
+    let (parallel_ns, _, _, _) = timed_sweep(spec, cap, workers, CaptureMode::Lazy, TraceMode::Off);
     let (eager_ns, _, snapshots_eager, capture_bytes_eager) =
-        timed_sweep(spec, cap, 1, CaptureMode::Eager);
+        timed_sweep(spec, cap, 1, CaptureMode::Eager, TraceMode::Off);
+    let (noop_trace_ns, _, _, _) = timed_sweep(spec, cap, 1, CaptureMode::Lazy, TraceMode::Off);
+    let (ring_trace_ns, _, _, _) = timed_sweep(
+        spec,
+        cap,
+        1,
+        CaptureMode::Lazy,
+        TraceMode::Ring(DEFAULT_RING_CAPACITY),
+    );
     DetectionPerf {
         name: spec.name.to_owned(),
         lang: spec.lang,
@@ -150,6 +187,8 @@ pub fn measure_detection(spec: &AppSpec, cap: Option<u64>, workers: usize) -> De
         snapshots_lazy,
         capture_bytes_eager,
         capture_bytes_lazy,
+        noop_trace_ns,
+        ring_trace_ns,
     }
 }
 
@@ -185,6 +224,22 @@ pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
         rows.iter()
             .map(DetectionPerf::snapshot_reduction_pct)
             .fold(0.0, f64::max)
+    ));
+    let sum = |f: fn(&DetectionPerf) -> u128| rows.iter().map(f).sum::<u128>();
+    let overall_pct = |num: u128, den: u128| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * (num as f64 / den as f64 - 1.0)
+        }
+    };
+    out.push_str(&format!(
+        "  \"trace_noop_overhead_pct\": {:.1},\n",
+        overall_pct(sum(|r| r.noop_trace_ns), sum(|r| r.sequential_ns))
+    ));
+    out.push_str(&format!(
+        "  \"trace_ring_overhead_pct\": {:.1},\n",
+        overall_pct(sum(|r| r.ring_trace_ns), sum(|r| r.sequential_ns))
     ));
     out.push_str("  \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -238,8 +293,24 @@ pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
             r.capture_bytes_eager
         ));
         out.push_str(&format!(
-            "      \"capture_bytes_lazy\": {}\n",
+            "      \"capture_bytes_lazy\": {},\n",
             r.capture_bytes_lazy
+        ));
+        out.push_str(&format!(
+            "      \"noop_trace_ms\": {:.3},\n",
+            r.noop_trace_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "      \"ring_trace_ms\": {:.3},\n",
+            r.ring_trace_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "      \"trace_noop_overhead_pct\": {:.1},\n",
+            r.trace_noop_overhead_pct()
+        ));
+        out.push_str(&format!(
+            "      \"trace_ring_overhead_pct\": {:.1}\n",
+            r.trace_ring_overhead_pct()
         ));
         out.push_str(if i + 1 == rows.len() {
             "    }\n"
@@ -280,6 +351,8 @@ mod tests {
         assert!(json.contains(&format!("\"name\": \"{}\"", spec.name)));
         assert!(json.contains("\"snapshot_reduction_pct\""));
         assert!(json.contains("\"geomean_speedup\""));
+        assert!(json.contains("\"trace_noop_overhead_pct\""));
+        assert!(json.contains("\"ring_trace_ms\""));
         // Shape check: braces and brackets balance.
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
@@ -300,11 +373,15 @@ mod tests {
             snapshots_lazy: 0,
             capture_bytes_eager: 0,
             capture_bytes_lazy: 0,
+            noop_trace_ns: 0,
+            ring_trace_ns: 0,
         };
         assert_eq!(perf.speedup(), 1.0);
         assert_eq!(perf.points_per_sec(0), 0.0);
         assert_eq!(perf.snapshot_reduction_pct(), 0.0);
         assert_eq!(perf.capture_speedup(), 1.0);
         assert_eq!(perf.total_speedup(), 1.0);
+        assert_eq!(perf.trace_noop_overhead_pct(), 0.0);
+        assert_eq!(perf.trace_ring_overhead_pct(), 0.0);
     }
 }

@@ -52,8 +52,9 @@ pub use pipeline::{Pipeline, PipelineReport};
 pub use atomask_inject::{
     classify, silent_diagnostics, stderr_diagnostics, suggest_exception_free, Campaign,
     CampaignConfig, CampaignJournal, CampaignResult, CaptureMode, CaptureStats, Classification,
-    DiagnosticsFn, InjectionHook, Mark, MarkFilter, MethodClassification, RetryPolicy, RunHealth,
-    RunOutcome, RunResult, Verdict, VerdictCounts,
+    DiagnosticsFn, Divergence, InjectionHook, Mark, MarkFilter, MethodClassification, ReplayReport,
+    RetryPolicy, RunHealth, RunOutcome, RunResult, SurvivingWrite, TraceMode, Verdict,
+    VerdictCounts, DEFAULT_RING_CAPACITY,
 };
 pub use atomask_mask::{
     verify_masked, verify_masked_configured, verify_masked_with, MaskStats, MaskStrategy,
@@ -62,7 +63,7 @@ pub use atomask_mask::{
 pub use atomask_mor::{
     Budget, CallHook, CallKind, CallSite, ClassBuilder, ClassId, Ctx, ExcId, Exception, FnProgram,
     Heap, HookChain, Lang, MethodId, MethodResult, MorError, ObjId, Profile, Program, Registry,
-    RegistryBuilder, Value, Vm,
+    RegistryBuilder, RingBufferSink, TraceEvent, TraceSink, Value, Vm,
 };
 pub use atomask_objgraph::{graph_size, Checkpoint, GraphSize, Snapshot};
 

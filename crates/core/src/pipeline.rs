@@ -3,6 +3,7 @@
 
 use atomask_inject::{
     classify, Campaign, CampaignConfig, CampaignResult, CaptureMode, Classification, RunHealth,
+    TraceMode,
 };
 use atomask_mask::{verify_masked_configured, MaskStrategy, Policy};
 use atomask_mor::{MethodId, Program};
@@ -127,6 +128,14 @@ impl<'p> Pipeline<'p> {
     /// eagerly because its rollback hooks mutate the heap mid-extent).
     pub fn capture(mut self, capture: CaptureMode) -> Self {
         self.campaign_config.capture = capture;
+        self
+    }
+
+    /// Sets the flight-recorder mode for both campaigns (see
+    /// [`TraceMode`]); per-run event counts land in each campaign's
+    /// [`RunHealth`].
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.campaign_config.trace = trace;
         self
     }
 

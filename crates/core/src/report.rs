@@ -12,8 +12,8 @@
 use crate::overhead::OverheadSample;
 use atomask_apps::AppSpec;
 use atomask_inject::{
-    classify, Campaign, CampaignConfig, Classification, MarkFilter, RunHealth, Verdict,
-    VerdictCounts,
+    classify, Campaign, CampaignConfig, Classification, MarkFilter, ReplayReport, RunHealth,
+    Verdict, VerdictCounts,
 };
 use atomask_mor::Lang;
 
@@ -257,6 +257,64 @@ pub fn render_case_study(buggy: &Classification, fixed: &Classification) -> Stri
     out
 }
 
+/// Renders a [`ReplayReport`] — the `report repro` artifact: run summary,
+/// full event trace, and the minimized divergence when the point was
+/// non-atomic.
+pub fn render_replay(report: &ReplayReport) -> String {
+    let reg = &report.registry;
+    let run = &report.run;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "replay of injection point {}: outcome {}\n",
+        run.injection_point,
+        run.outcome.as_str()
+    ));
+    match run.injected {
+        Some((method, exc)) => out.push_str(&format!(
+            "injected {} into {}\n",
+            reg.exceptions().name(exc),
+            reg.method_display(method)
+        )),
+        None => out.push_str("no injection fired (point beyond the run's dynamic extent)\n"),
+    }
+    if let Some(err) = &run.top_error {
+        out.push_str(&format!("top-level error: {err}\n"));
+    }
+    let nonatomic = run.marks.iter().filter(|m| !m.atomic).count();
+    out.push_str(&format!(
+        "marks: {} ({} non-atomic); fuel {}; {} trace event(s)",
+        run.marks.len(),
+        nonatomic,
+        run.fuel_spent,
+        report.trace_emitted
+    ));
+    if report.trace_dropped > 0 {
+        out.push_str(&format!(" ({} dropped)", report.trace_dropped));
+    }
+    out.push('\n');
+    out.push_str("trace:\n");
+    for event in &report.trace {
+        out.push_str("  ");
+        out.push_str(&event.render(reg));
+        out.push('\n');
+    }
+    for mark in &run.marks {
+        out.push_str(&format!(
+            "mark: {} {}\n",
+            reg.method_display(mark.method),
+            if mark.atomic { "atomic" } else { "NON-ATOMIC" }
+        ));
+    }
+    match &report.divergence {
+        Some(d) => out.push_str(&d.render(reg)),
+        None if nonatomic > 0 => {
+            out.push_str("divergence: not minimized (inner hook present)\n");
+        }
+        None => out.push_str("divergence: none — the graph was unchanged\n"),
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +402,26 @@ mod tests {
         }];
         let fig5 = render_overhead(&samples);
         assert!(fig5.contains("2.50"));
+    }
+
+    #[test]
+    fn replay_report_renders_trace_and_divergence() {
+        // Point 5 of the LinkedList case study injects into `LLCell::<init>`
+        // and leaves `insertLast` non-atomic (`size` bumped before the
+        // cell exists).
+        let program = atomask_apps::collections::linked_list::program();
+        let replay = Campaign::new(&program).replay(5);
+        let text = render_replay(&replay);
+        assert!(text.contains("replay of injection point 5"), "{text}");
+        assert!(text.contains("inject"), "{text}");
+        assert!(text.contains("NON-ATOMIC"), "{text}");
+        assert!(
+            text.contains("non-atomic: LinkedList::insertLast"),
+            "divergence names the method:\n{text}"
+        );
+        assert!(text.contains("LinkedList.size: 0 -> 1"), "{text}");
+        // Rendering is pure: the same replay renders identically.
+        assert_eq!(text, render_replay(&replay));
     }
 
     #[test]

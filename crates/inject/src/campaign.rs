@@ -39,7 +39,10 @@
 use crate::hook::{CaptureMode, InjectionHook};
 use crate::journal::CampaignJournal;
 use crate::marks::Mark;
-use atomask_mor::{Budget, CallHook, ExcId, HookChain, MethodId, Program, Registry, Vm};
+use crate::replay::{Divergence, ReplayReport};
+use atomask_mor::{
+    Budget, CallHook, ExcId, HookChain, MethodId, Program, Registry, RingBufferSink, Vm,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,6 +68,48 @@ pub fn stderr_diagnostics(message: &str) {
 /// A [`DiagnosticsFn`] that swallows everything (useful in tests and when
 /// a harness renders health from the journal instead).
 pub fn silent_diagnostics(_message: &str) {}
+
+/// Default event retention of ring-buffer sinks created by [`TraceMode`].
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Whether campaign runs record a flight-recorder trace
+/// ([`atomask_mor::TraceSink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceMode {
+    /// Resolve from the `ATOMASK_TRACE` environment variable: `ring`
+    /// installs a [`RingBufferSink`] with [`DEFAULT_RING_CAPACITY`],
+    /// `ring:<n>` one retaining `n` events; anything else (or unset)
+    /// records nothing.
+    #[default]
+    Auto,
+    /// No sink installed: every emission site compiles to a branch on
+    /// `None`, the zero-overhead baseline.
+    Off,
+    /// A [`RingBufferSink`] retaining the given number of events per run.
+    Ring(usize),
+}
+
+impl TraceMode {
+    /// The ring capacity to install for one run, or `None` for no sink.
+    fn resolve(self) -> Option<usize> {
+        match self {
+            TraceMode::Off => None,
+            TraceMode::Ring(capacity) => Some(capacity),
+            TraceMode::Auto => {
+                let v = std::env::var("ATOMASK_TRACE").ok()?;
+                let v = v.trim();
+                if v == "ring" {
+                    Some(DEFAULT_RING_CAPACITY)
+                } else {
+                    v.strip_prefix("ring:")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                }
+            }
+        }
+    }
+}
 
 /// How one injector run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,6 +215,12 @@ pub struct CampaignConfig {
     /// inner hook (masking verification) always use eager capture because
     /// rollback hooks may reclaim objects mid-extent.
     pub capture: CaptureMode,
+    /// Whether runs record a flight-recorder trace. Defaults to
+    /// [`TraceMode::Auto`] (the `ATOMASK_TRACE` environment variable;
+    /// nothing when unset). Tracing costs no fuel, so marks, outcomes and
+    /// fuel counts are identical whatever the mode — only the
+    /// `trace_events` run statistic changes.
+    pub trace: TraceMode,
     /// Where campaign warnings go. Defaults to [`stderr_diagnostics`].
     pub diagnostics: DiagnosticsFn,
 }
@@ -182,6 +233,7 @@ impl Default for CampaignConfig {
             max_failures: None,
             workers: 0,
             capture: CaptureMode::default(),
+            trace: TraceMode::default(),
             diagnostics: stderr_diagnostics,
         }
     }
@@ -194,6 +246,7 @@ impl PartialEq for CampaignConfig {
             && self.max_failures == other.max_failures
             && self.workers == other.workers
             && self.capture == other.capture
+            && self.trace == other.trace
             && std::ptr::fn_addr_eq(self.diagnostics, other.diagnostics)
     }
 }
@@ -226,10 +279,16 @@ pub struct RunResult {
     pub snapshots: u64,
     /// Approximate bytes of those snapshots.
     pub capture_bytes: u64,
+    /// Trace events emitted by the final attempt (0 unless a
+    /// [`TraceMode`] sink was installed).
+    pub trace_events: u64,
 }
 
 impl RunResult {
-    /// A run that was never executed (failure cap reached).
+    /// A run that was never executed (failure cap reached). Every
+    /// execution statistic — fuel, snapshots, capture bytes, trace events
+    /// — is zero by construction: nothing ran. [`Campaign::replay`] on
+    /// such a point executes it for real, under a fresh budget.
     pub fn skipped(injection_point: u64) -> Self {
         RunResult {
             injection_point,
@@ -241,6 +300,7 @@ impl RunResult {
             fuel_spent: 0,
             snapshots: 0,
             capture_bytes: 0,
+            trace_events: 0,
         }
     }
 
@@ -269,6 +329,8 @@ pub struct RunHealth {
     pub snapshots: u64,
     /// Total approximate snapshot bytes across final attempts.
     pub capture_bytes: u64,
+    /// Total trace events emitted across final attempts.
+    pub trace_events: u64,
 }
 
 impl RunHealth {
@@ -284,6 +346,7 @@ impl RunHealth {
         self.fuel_spent += run.fuel_spent;
         self.snapshots += run.snapshots;
         self.capture_bytes += run.capture_bytes;
+        self.trace_events += run.trace_events;
     }
 
     /// Runs that contributed no marks (diverged + panicked + skipped).
@@ -467,6 +530,12 @@ impl<'p> Campaign<'p> {
         self
     }
 
+    /// Sets the flight-recorder mode (see [`CampaignConfig::trace`]).
+    pub fn trace(mut self, mode: TraceMode) -> Self {
+        self.config.trace = mode;
+        self
+    }
+
     /// Executes the campaign.
     pub fn run(&self) -> CampaignResult {
         let mut scratch = CampaignJournal::new();
@@ -642,6 +711,7 @@ impl<'p> Campaign<'p> {
                                     fuel_spent: 0,
                                     snapshots: 0,
                                     capture_bytes: 0,
+                                    trace_events: 0,
                                 });
                         if tx.send(run).is_err() {
                             break;
@@ -712,17 +782,51 @@ impl<'p> Campaign<'p> {
         }
     }
 
-    /// One isolated attempt at one injection point.
+    /// One isolated attempt at one injection point, with the configured
+    /// flight recorder (if any).
     fn attempt_point(
         &self,
         registry: &Rc<Registry>,
         injection_point: u64,
         budget: Budget,
     ) -> RunResult {
+        let tracer = self
+            .config
+            .trace
+            .resolve()
+            .map(|cap| Rc::new(RefCell::new(RingBufferSink::new(cap))));
+        self.attempt_point_traced(
+            registry,
+            injection_point,
+            budget,
+            tracer,
+            self.effective_capture(),
+            false,
+        )
+        .0
+    }
+
+    /// One isolated attempt at one injection point with explicit tracing,
+    /// capture, and minimization controls. The workhorse behind both the
+    /// sweep ([`Campaign::attempt_point`]) and [`Campaign::replay`].
+    fn attempt_point_traced(
+        &self,
+        registry: &Rc<Registry>,
+        injection_point: u64,
+        budget: Budget,
+        tracer: Option<Rc<RefCell<RingBufferSink>>>,
+        capture: CaptureMode,
+        minimize: bool,
+    ) -> (RunResult, Option<Divergence>) {
         let mut vm = Vm::from_shared_registry(registry.clone());
         vm.set_budget(budget);
+        if let Some(t) = &tracer {
+            vm.set_tracer(Some(t.clone()));
+        }
         let hook = Rc::new(RefCell::new(
-            InjectionHook::with_injection_point(injection_point).capture(self.effective_capture()),
+            InjectionHook::with_injection_point(injection_point)
+                .capture(capture)
+                .minimize_divergence(minimize),
         ));
         self.install(&mut vm, hook.clone());
         // Panic isolation: a panicking application body unwinds out of
@@ -735,8 +839,10 @@ impl<'p> Campaign<'p> {
         let diverged = vm.fuel_exhausted();
         let fuel_spent = vm.fuel_spent();
         drop(vm);
-        let hook = extract_hook_state(hook, self.config.diagnostics);
+        let mut hook = extract_hook_state(hook, self.config.diagnostics);
+        let divergence = hook.take_divergence();
         let capture = hook.capture_stats();
+        let trace_events = tracer.as_ref().map(|t| t.borrow().emitted()).unwrap_or(0);
         // An exhausted budget wins over how the run happened to end: both
         // the guest `BudgetExhausted` exception reaching the driver and the
         // escalation panic (when the program swallowed that exception and
@@ -755,7 +861,7 @@ impl<'p> Campaign<'p> {
                 Some(format!("panic: {}", panic_message(payload.as_ref()))),
             ),
         };
-        RunResult {
+        let run = RunResult {
             injection_point,
             injected: hook.injected(),
             marks: hook.into_marks(),
@@ -765,6 +871,69 @@ impl<'p> Campaign<'p> {
             fuel_spent,
             snapshots: capture.snapshots,
             capture_bytes: capture.capture_bytes,
+            trace_events,
+        };
+        (run, divergence)
+    }
+
+    /// Re-executes exactly one injection point with the flight recorder
+    /// always on and returns the full artifact: run record, event trace,
+    /// and (for non-atomic points) the minimized divergence.
+    ///
+    /// Replay is deterministic: it rebuilds the registry and a fresh VM
+    /// exactly as the sweep does for that point, so the marks and outcome
+    /// match the campaign's journal bit for bit — independent of worker
+    /// count, and independent of whether the campaign traced. Replay knows
+    /// nothing of journals, retry history, or `max_failures`: a point the
+    /// campaign recorded as [`RunOutcome::Skipped`] is executed for real
+    /// here, under a fresh `config.budget`.
+    ///
+    /// The replay ring is large (`2^20` events); if a run emits more,
+    /// [`ReplayReport::trace_dropped`] says how many early events fell off.
+    pub fn replay(&self, injection_point: u64) -> ReplayReport {
+        const REPLAY_RING_CAPACITY: usize = 1 << 20;
+        let registry = Rc::new(self.program.build_registry());
+        let tracer = Rc::new(RefCell::new(RingBufferSink::new(REPLAY_RING_CAPACITY)));
+        let capture = self.effective_capture();
+        // The minimizer needs the lazy undo log open at propagation time;
+        // under an eager or inner-hook configuration the first pass runs
+        // exactly as the campaign did and a second, lazy pass (below)
+        // derives the divergence.
+        let minimize = capture == CaptureMode::Lazy;
+        let (run, mut divergence) = self.attempt_point_traced(
+            &registry,
+            injection_point,
+            self.config.budget,
+            Some(tracer.clone()),
+            capture,
+            minimize,
+        );
+        if divergence.is_none() && self.inner_hook.is_none() && run.marks.iter().any(|m| !m.atomic)
+        {
+            divergence = self
+                .attempt_point_traced(
+                    &registry,
+                    injection_point,
+                    self.config.budget,
+                    None,
+                    CaptureMode::Lazy,
+                    true,
+                )
+                .1;
+        }
+        let sink = match Rc::try_unwrap(tracer) {
+            Ok(cell) => cell.into_inner(),
+            Err(shared) => shared.borrow().clone(),
+        };
+        let trace_emitted = sink.emitted();
+        let trace_dropped = sink.dropped();
+        ReplayReport {
+            run,
+            trace: sink.into_events(),
+            trace_emitted,
+            trace_dropped,
+            registry,
+            divergence,
         }
     }
 
@@ -1112,5 +1281,95 @@ mod tests {
         let text = journal.serialize();
         let parsed = CampaignJournal::parse(&text).expect("serialized journal parses");
         assert_eq!(parsed, journal);
+    }
+
+    #[test]
+    fn ring_trace_mode_counts_events_without_changing_results() {
+        let p = two_level_program();
+        let off = Campaign::new(&p).trace(TraceMode::Off).run();
+        let ring = Campaign::new(&p).trace(TraceMode::Ring(64)).run();
+        assert!(off.runs.iter().all(|r| r.trace_events == 0));
+        assert!(ring.runs.iter().all(|r| r.trace_events > 0));
+        assert!(ring.health().trace_events > 0);
+        // Tracing is observation only: everything except the event counts
+        // is identical.
+        for (a, b) in off.runs.iter().zip(&ring.runs) {
+            let mut b = b.clone();
+            b.trace_events = 0;
+            assert_eq!(*a, b);
+        }
+    }
+
+    #[test]
+    fn replay_matches_the_sweep_at_every_point_and_worker_count() {
+        let p = two_level_program();
+        let sequential = Campaign::new(&p).workers(1).run();
+        let sharded = Campaign::new(&p).workers(3).run();
+        assert_eq!(sequential.runs, sharded.runs);
+        for run in &sequential.runs {
+            let replay = Campaign::new(&p).replay(run.injection_point);
+            assert_eq!(replay.run.marks, run.marks, "point {}", run.injection_point);
+            assert_eq!(replay.run.outcome, run.outcome);
+            assert_eq!(replay.run.injected, run.injected);
+            assert!(replay.trace_emitted > 0, "the replay recorder is always on");
+            assert_eq!(replay.trace_dropped, 0);
+            assert_eq!(replay.trace.len() as u64, replay.trace_emitted);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let p = two_level_program();
+        let a = Campaign::new(&p).replay(3);
+        let b = Campaign::new(&p).replay(3);
+        assert_eq!(a.run, b.run);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.divergence, b.divergence);
+    }
+
+    #[test]
+    fn replay_minimizes_the_nonatomic_divergence() {
+        let p = two_level_program();
+        // Point 3 injects into `inner`, leaving `a` incremented: outer is
+        // non-atomic and the minimal explanation is that single cell.
+        let replay = Campaign::new(&p).replay(3);
+        assert!(replay.run.marks.iter().any(|m| !m.atomic));
+        let d = replay
+            .divergence
+            .expect("non-atomic point has a divergence");
+        assert_eq!(replay.registry.method_display(d.method), "T::outer");
+        assert_eq!(d.minimal.len(), 1);
+        assert_eq!(d.minimal[0].field, "a");
+        assert_eq!(d.minimal[0].before, Value::Int(0));
+        assert_eq!(d.minimal[0].after, Value::Int(1));
+        assert!(d.total_surviving >= d.minimal.len());
+        // Atomic points (injections into `outer` itself) have none.
+        let atomic = Campaign::new(&p).replay(1);
+        assert!(atomic.divergence.is_none());
+    }
+
+    #[test]
+    fn replay_of_a_skipped_point_executes_for_real() {
+        let p = pathological_program();
+        let campaign = Campaign::new(&p)
+            .budget(Budget::fuel(500))
+            .retry(RetryPolicy::none())
+            .max_failures(1);
+        let result = campaign.run();
+        let skipped = result
+            .runs
+            .iter()
+            .find(|r| r.outcome == RunOutcome::Skipped)
+            .expect("the failure cap skips the tail");
+        // A skipped record carries zeroed execution statistics...
+        assert_eq!(skipped.fuel_spent, 0);
+        assert_eq!(skipped.snapshots, 0);
+        assert_eq!(skipped.capture_bytes, 0);
+        assert_eq!(skipped.trace_events, 0);
+        assert!(skipped.marks.is_empty());
+        // ...and replay re-executes it under a fresh budget.
+        let replay = campaign.replay(skipped.injection_point);
+        assert_ne!(replay.run.outcome, RunOutcome::Skipped);
+        assert!(replay.run.fuel_spent > 0);
     }
 }

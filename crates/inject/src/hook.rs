@@ -1,8 +1,9 @@
 //! Listing 1 — the injection wrapper — as a [`CallHook`].
 
 use crate::marks::Mark;
+use crate::replay::Divergence;
 use atomask_mor::{
-    CallHook, CallSite, ExcId, Exception, HookGuard, MethodId, MethodResult, ObjId, Vm,
+    CallHook, CallSite, ExcId, Exception, HookGuard, MethodId, MethodResult, ObjId, TraceEvent, Vm,
 };
 use atomask_objgraph::Snapshot;
 
@@ -68,6 +69,8 @@ pub struct InjectionHook {
     stats: CaptureStats,
     injected: Option<(MethodId, ExcId)>,
     marks: Vec<Mark>,
+    minimize: bool,
+    divergence: Option<Divergence>,
 }
 
 impl InjectionHook {
@@ -84,6 +87,8 @@ impl InjectionHook {
             stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
+            minimize: false,
+            divergence: None,
         }
     }
 
@@ -99,6 +104,8 @@ impl InjectionHook {
             stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
+            minimize: false,
+            divergence: None,
         }
     }
 
@@ -114,6 +121,8 @@ impl InjectionHook {
             stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
+            minimize: false,
+            divergence: None,
         }
     }
 
@@ -123,6 +132,23 @@ impl InjectionHook {
     pub fn capture(mut self, mode: CaptureMode) -> Self {
         self.capture = mode;
         self
+    }
+
+    /// Enables the divergence minimizer (builder style): when the first
+    /// non-atomic mark is recorded under [`CaptureMode::Lazy`], the
+    /// surviving write set is reduced to a 1-minimal explanation while the
+    /// undo-log layer is still open. Replay turns this on; campaigns leave
+    /// it off (the probes cost extra graph traversals per non-atomic
+    /// point).
+    pub fn minimize_divergence(mut self, on: bool) -> Self {
+        self.minimize = on;
+        self
+    }
+
+    /// Takes the minimized divergence out of the hook, if one was
+    /// recorded.
+    pub fn take_divergence(&mut self) -> Option<Divergence> {
+        self.divergence.take()
     }
 
     /// Capture-cost counters accumulated so far this run.
@@ -181,6 +207,11 @@ impl CallHook for InjectionHook {
             self.point += 1;
             if Some(self.point) == self.injection_point {
                 self.injected = Some((site.method, exc));
+                vm.trace(TraceEvent::InjectionFire {
+                    method: site.method,
+                    exc,
+                    point: self.point,
+                });
                 return Err(Exception::injected(exc, site.method));
             }
         }
@@ -237,15 +268,34 @@ impl CallHook for InjectionHook {
                 // Listing 1 lines 10-14, lazily: reconstruct the
                 // before-graph from the undo log, trace the live heap for
                 // the after-graph, compare, mark, then fold the layer.
-                let heap = vm.heap();
-                let asof = heap
-                    .asof_innermost()
-                    .expect("lazy capture layer is open in after()");
-                let before = Snapshot::of_source(&asof, &snapshot_roots(site));
-                let after = Snapshot::of_roots(heap, &snapshot_roots(site));
+                let roots = snapshot_roots(site);
+                let (before, after) = {
+                    let heap = vm.heap();
+                    let asof = heap
+                        .asof_innermost()
+                        .expect("lazy capture layer is open in after()");
+                    (
+                        Snapshot::of_source(&asof, &roots),
+                        Snapshot::of_roots(heap, &roots),
+                    )
+                };
                 self.stats.snapshots += 2;
                 self.stats.capture_bytes += before.approx_bytes() + after.approx_bytes();
                 self.push_mark(site, exc, &before, &after);
+                // The undo log is still open here — the only moment the
+                // surviving write set is cheaply enumerable — so the
+                // minimizer (replay only) runs on the *first* non-atomic
+                // mark, the innermost wrapper on the propagation path.
+                if self.minimize && self.divergence.is_none() {
+                    if let Some(mark) = self.marks.last() {
+                        if !mark.atomic {
+                            let diff = mark.diff.clone().unwrap_or_default();
+                            self.divergence = Some(crate::replay::minimize_divergence(
+                                vm, site, exc.chain, diff, &before, &roots,
+                            ));
+                        }
+                    }
+                }
                 vm.heap_mut().commit_journal();
             }
         }

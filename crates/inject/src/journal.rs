@@ -19,8 +19,11 @@ use std::fmt;
 
 /// Magic first line of the text form; bump the version on format changes.
 /// v2 added the per-run capture stats (`snapshots`, `capture_bytes`) to
-/// the `run` line.
-const HEADER: &str = "atomask-campaign-journal v2";
+/// the `run` line; v3 added the per-run `trace_events` count.
+const HEADER: &str = "atomask-campaign-journal v3";
+/// Previous format versions, still parseable (missing stats read as 0).
+const HEADER_V2: &str = "atomask-campaign-journal v2";
+const HEADER_V1: &str = "atomask-campaign-journal v1";
 
 /// Append-only record of a (possibly partial) detection campaign.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -126,13 +129,14 @@ impl CampaignJournal {
                 Some((m, e)) => format!("{},{}", m.into_raw(), e.into_raw()),
             };
             out.push_str(&format!(
-                "run\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                "run\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 run.injection_point,
                 run.outcome.as_str(),
                 run.retries,
                 run.fuel_spent,
                 run.snapshots,
                 run.capture_bytes,
+                run.trace_events,
                 injected,
                 opt_str(&run.top_error),
             ));
@@ -150,21 +154,35 @@ impl CampaignJournal {
     }
 
     /// Parses the text form produced by [`CampaignJournal::serialize`].
+    /// Legacy v1 and v2 journals still parse; fields their format lacked
+    /// (capture stats, trace counts) read as 0. Serialization always
+    /// writes the current version.
     ///
     /// # Errors
     ///
     /// Returns a [`JournalParseError`] naming the offending line when the
-    /// input is not a valid v1 journal.
+    /// input is not a valid journal of any known version. A parse failure
+    /// is a hard error — [`crate::Campaign::resume`] never silently skips
+    /// a malformed prefix.
     pub fn parse(text: &str) -> Result<Self, JournalParseError> {
         let fail = |line: usize, msg: &str| JournalParseError {
             line,
             msg: msg.to_owned(),
         };
         let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, first)) if first == HEADER => {}
+        let version = match lines.next() {
+            Some((_, first)) if first == HEADER => 3,
+            Some((_, first)) if first == HEADER_V2 => 2,
+            Some((_, first)) if first == HEADER_V1 => 1,
             _ => return Err(fail(1, "missing journal header")),
-        }
+        };
+        // Per-version `run` line shape: total field count and the index of
+        // the `injected` field (the optional `top_error` always follows).
+        let (run_fields, injected_at) = match version {
+            1 => (7, 5),
+            2 => (9, 7),
+            _ => (10, 8),
+        };
         let mut journal = CampaignJournal::new();
         for (idx, line) in lines {
             let lineno = idx + 1;
@@ -188,10 +206,10 @@ impl CampaignJournal {
                     };
                     journal.baseline = Some((points, calls));
                 }
-                "run" if fields.len() == 9 => {
+                "run" if fields.len() == run_fields => {
                     let outcome = RunOutcome::parse(fields[2])
                         .ok_or_else(|| fail(lineno, "unknown run outcome"))?;
-                    let injected = match fields[7] {
+                    let injected = match fields[injected_at] {
                         "-" => None,
                         pair => {
                             let (m, e) = pair
@@ -203,16 +221,30 @@ impl CampaignJournal {
                             ))
                         }
                     };
+                    let (snapshots, capture_bytes) = if version >= 2 {
+                        (
+                            parse_u64(fields[5], lineno, "snapshots")?,
+                            parse_u64(fields[6], lineno, "capture bytes")?,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    let trace_events = if version >= 3 {
+                        parse_u64(fields[7], lineno, "trace events")?
+                    } else {
+                        0
+                    };
                     journal.runs.push(RunResult {
                         injection_point: parse_u64(fields[1], lineno, "injection point")?,
                         injected,
                         marks: Vec::new(),
-                        top_error: parse_opt_str(fields[8], lineno)?,
+                        top_error: parse_opt_str(fields[injected_at + 1], lineno)?,
                         outcome,
                         retries: parse_u32(fields[3], lineno, "retries")?,
                         fuel_spent: parse_u64(fields[4], lineno, "fuel")?,
-                        snapshots: parse_u64(fields[5], lineno, "snapshots")?,
-                        capture_bytes: parse_u64(fields[6], lineno, "capture bytes")?,
+                        snapshots,
+                        capture_bytes,
+                        trace_events,
                     });
                 }
                 "mark" if fields.len() == 5 => {
@@ -339,6 +371,7 @@ mod tests {
             fuel_spent: 123,
             snapshots: 5,
             capture_bytes: 640,
+            trace_events: 42,
         }
     }
 

@@ -71,12 +71,13 @@ mod classify;
 mod hook;
 mod journal;
 mod marks;
+mod replay;
 mod suggest;
 
 pub use analyzer::{method_injection_plan, InjectionPlan};
 pub use campaign::{
     silent_diagnostics, stderr_diagnostics, Campaign, CampaignConfig, CampaignResult,
-    DiagnosticsFn, RetryPolicy, RunHealth, RunOutcome, RunResult,
+    DiagnosticsFn, RetryPolicy, RunHealth, RunOutcome, RunResult, TraceMode, DEFAULT_RING_CAPACITY,
 };
 pub use classify::{
     classify, ClassRollup, ClassVerdictCounts, Classification, MarkFilter, MethodClassification,
@@ -85,4 +86,5 @@ pub use classify::{
 pub use hook::{CaptureMode, CaptureStats, InjectionHook};
 pub use journal::{CampaignJournal, JournalParseError};
 pub use marks::Mark;
+pub use replay::{Divergence, ReplayReport, SurvivingWrite};
 pub use suggest::suggest_exception_free;

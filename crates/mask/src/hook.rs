@@ -68,6 +68,9 @@ impl CallHook for MaskingHook {
         }
         // Listing 2 line 2: objgraph = deep_copy(this).
         let cp = Checkpoint::capture(vm.heap(), &checkpoint_roots(site));
+        vm.trace(atomask_mor::TraceEvent::MaskCheckpoint {
+            method: site.method,
+        });
         self.stats.checkpoints += 1;
         self.stats.bytes_checkpointed += cp.byte_size() as u64;
         Ok(Some(Box::new(cp)))
@@ -76,7 +79,7 @@ impl CallHook for MaskingHook {
     fn after(
         &mut self,
         vm: &mut Vm,
-        _site: &CallSite,
+        site: &CallSite,
         guard: HookGuard,
         outcome: MethodResult,
     ) -> MethodResult {
@@ -87,6 +90,9 @@ impl CallHook for MaskingHook {
                     .expect("masking guard is a checkpoint");
                 // Listing 2 line 6: replace(this, objgraph); then rethrow.
                 cp.restore(vm.heap_mut());
+                vm.trace(atomask_mor::TraceEvent::MaskRestore {
+                    method: site.method,
+                });
                 self.stats.restores += 1;
                 // §5.1: objects implicitly discarded by the rollback are
                 // cleaned up via reference counting.

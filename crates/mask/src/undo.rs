@@ -75,7 +75,7 @@ impl CallHook for UndoMaskingHook {
     fn after(
         &mut self,
         vm: &mut Vm,
-        _site: &CallSite,
+        site: &CallSite,
         guard: HookGuard,
         outcome: MethodResult,
     ) -> MethodResult {
@@ -84,6 +84,9 @@ impl CallHook for UndoMaskingHook {
                 vm.heap_mut().commit_journal();
             } else {
                 self.stats.writes_undone += vm.heap_mut().abort_journal() as u64;
+                vm.trace(atomask_mor::TraceEvent::MaskRestore {
+                    method: site.method,
+                });
                 self.stats.rollbacks += 1;
                 self.stats.reclaimed += vm.heap_mut().reclaim() as u64;
             }

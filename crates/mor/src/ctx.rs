@@ -166,13 +166,23 @@ impl<'vm> Ctx<'vm> {
     /// Panics if the exception type was never registered.
     pub fn exception(&mut self, ty: &str, message: impl Into<String>) -> Exception {
         let id = self.vm.exc_id(ty);
-        Exception::new(id, message)
+        let e = Exception::new(id, message);
+        self.vm.trace(crate::TraceEvent::ExcThrow {
+            exc: e.ty,
+            chain: e.chain,
+        });
+        e
     }
 
     /// Builds the guest `NullPointerException`.
     pub fn npe(&mut self, what: &str) -> Exception {
         let id = self.vm.exc_id(ExceptionTable::NULL_POINTER);
-        Exception::new(id, format!("null receiver in `{what}`"))
+        let e = Exception::new(id, format!("null receiver in `{what}`"));
+        self.vm.trace(crate::TraceEvent::ExcThrow {
+            exc: e.ty,
+            chain: e.chain,
+        });
+        e
     }
 }
 

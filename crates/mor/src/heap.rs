@@ -14,7 +14,9 @@ use crate::class::ClassDef;
 use crate::error::MorError;
 use crate::ids::{ClassId, ObjId};
 use crate::registry::Registry;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::value::Value;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
@@ -83,6 +85,7 @@ pub struct Heap {
     next_id: u64,
     stats: HeapStats,
     journal: JournalLog,
+    tracer: Option<Rc<RefCell<dyn TraceSink>>>,
 }
 
 impl Heap {
@@ -96,6 +99,22 @@ impl Heap {
             next_id: 1,
             stats: HeapStats::default(),
             journal: JournalLog::default(),
+            tracer: None,
+        }
+    }
+
+    /// Installs (or removes) the trace sink heap events are recorded on.
+    /// Normally called through [`crate::Vm::set_tracer`], which shares one
+    /// sink between the VM and its heap.
+    pub fn set_tracer(&mut self, tracer: Option<Rc<RefCell<dyn TraceSink>>>) {
+        self.tracer = tracer;
+    }
+
+    /// Emission helper: the closure only runs when a sink is installed.
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(make());
         }
     }
 
@@ -129,6 +148,10 @@ impl Heap {
         if !self.journal.layers.is_empty() {
             self.journal.allocs.push(id);
         }
+        self.emit(|| TraceEvent::HeapAlloc {
+            obj: id,
+            class: class.id,
+        });
         id
     }
 
@@ -202,6 +225,11 @@ impl Heap {
         if let Some(target) = old.as_ref_id() {
             self.dec_ref(target);
         }
+        self.emit(|| TraceEvent::HeapWrite {
+            obj: id,
+            class: class_id,
+            slot,
+        });
         Ok(())
     }
 
@@ -367,6 +395,9 @@ impl Heap {
         self.journal
             .layers
             .push((self.journal.writes.len(), self.journal.allocs.len()));
+        self.emit(|| TraceEvent::JournalPush {
+            depth: self.journal.layers.len(),
+        });
     }
 
     /// Number of open journal layers.
@@ -392,6 +423,9 @@ impl Heap {
     ///
     /// Panics if no layer is open.
     pub fn commit_journal(&mut self) {
+        self.emit(|| TraceEvent::JournalCommit {
+            depth: self.journal.layers.len(),
+        });
         self.journal
             .layers
             .pop()
@@ -419,6 +453,10 @@ impl Heap {
             .pop()
             .expect("abort_journal: no open journal");
         let undone = self.journal.writes.len() - writes_mark;
+        self.emit(|| TraceEvent::JournalAbort {
+            depth: self.journal.layers.len() + 1,
+            undone,
+        });
         let rollback: Vec<(ObjId, usize, Value)> =
             self.journal.writes.drain(writes_mark..).collect();
         self.journal.allocs.truncate(allocs_mark);
@@ -432,10 +470,16 @@ impl Heap {
                 .objects
                 .get_mut(&id)
                 .expect("journaled object cannot die while its layer is open");
+            let class = obj.class;
             let current = std::mem::replace(&mut obj.fields[slot], old);
             if let Some(target) = current.as_ref_id() {
                 self.dec_ref(target);
             }
+            self.emit(|| TraceEvent::UndoWrite {
+                obj: id,
+                class,
+                slot,
+            });
         }
         undone
     }
@@ -463,6 +507,43 @@ impl Heap {
             overlay,
             born,
         })
+    }
+
+    /// The innermost open layer's write set, collapsed to one entry per
+    /// heap cell: `(object, field slot, value at layer-open time)` in
+    /// first-write order. Empty when no layer is open.
+    ///
+    /// This is the overlay [`Heap::asof_innermost`] builds, materialized —
+    /// the divergence minimizer probes subsets of exactly these cells.
+    pub fn journal_innermost_writes(&self) -> Vec<(ObjId, usize, Value)> {
+        let Some(&(writes_mark, _)) = self.journal.layers.last() else {
+            return Vec::new();
+        };
+        let mut seen: std::collections::HashSet<(ObjId, usize)> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (id, slot, old) in &self.journal.writes[writes_mark..] {
+            if seen.insert((*id, *slot)) {
+                out.push((*id, *slot, old.clone()));
+            }
+        }
+        out
+    }
+
+    /// Overwrites one field slot **without** reference-count, journal, or
+    /// trace maintenance. Probe-only API for the divergence minimizer:
+    /// callers flip a cell to a hypothetical value, inspect the graph, and
+    /// must restore the original value before any other heap activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead or `slot` is out of schema range (host
+    /// errors — probes only touch cells the journal recorded).
+    pub fn probe_set_slot(&mut self, id: ObjId, slot: usize, value: Value) {
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("probe_set_slot: dead object {id}"));
+        obj.fields[slot] = value;
     }
 
     fn inc_ref(&mut self, id: ObjId) {

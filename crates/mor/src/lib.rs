@@ -76,6 +76,7 @@ mod ids;
 mod profile;
 mod program;
 mod registry;
+mod trace;
 mod value;
 mod vm;
 
@@ -90,5 +91,6 @@ pub use ids::{ClassId, ExcId, MethodId, ObjId};
 pub use profile::{Lang, Profile};
 pub use program::{FnProgram, Program};
 pub use registry::{Registry, RegistryBuilder};
+pub use trace::{RingBufferSink, TraceEvent, TraceSink};
 pub use value::Value;
 pub use vm::{CallStats, Vm};

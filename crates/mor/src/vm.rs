@@ -8,6 +8,7 @@ use crate::heap::Heap;
 use crate::hook::{CallHook, CallKind, CallSite};
 use crate::ids::{ExcId, MethodId, ObjId};
 use crate::registry::Registry;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::value::Value;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -61,6 +62,7 @@ pub struct Vm {
     call_seq: u64,
     depth: usize,
     fuel: FuelMeter,
+    tracer: Option<Rc<RefCell<dyn TraceSink>>>,
     /// Preinterned id of the distinguished `BudgetExhausted` exception;
     /// cached so dispatch can exempt it from declaration-violation
     /// accounting without a name lookup per propagation step.
@@ -94,7 +96,41 @@ impl Vm {
             call_seq: 0,
             depth: 0,
             fuel: FuelMeter::new(Budget::unlimited()),
+            tracer: None,
             budget_exc,
+        }
+    }
+
+    /// Installs (or removes) the flight recorder. The sink is shared with
+    /// the heap, so heap write/undo/journal events and VM call/exception
+    /// events interleave in one stream. With no sink installed every
+    /// emission site is a branch on `None` — events are never constructed.
+    ///
+    /// Sinks must not re-enter the VM (the sink cell is borrowed while
+    /// recording).
+    pub fn set_tracer(&mut self, tracer: Option<Rc<RefCell<dyn TraceSink>>>) {
+        self.heap.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// `true` iff a trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Records one event on the installed sink, if any. Public so hooks in
+    /// other crates (injection, masking) can add their own span events.
+    pub fn trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
+    }
+
+    /// Emission helper: the closure only runs when a sink is installed.
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(make());
         }
     }
 
@@ -297,6 +333,9 @@ impl Vm {
             );
         }
         self.fuel.charge_heap_op();
+        self.emit(|| TraceEvent::BudgetCharge {
+            spent: self.fuel.spent(),
+        });
     }
 
     fn dispatch(
@@ -321,6 +360,9 @@ impl Vm {
                 );
             }
             self.fuel.mark_reported();
+            self.emit(|| TraceEvent::BudgetExhausted {
+                spent: self.fuel.spent(),
+            });
             return Err(Exception::new(
                 self.budget_exc,
                 format!("fuel budget exhausted after {} steps", self.fuel.spent()),
@@ -341,6 +383,12 @@ impl Vm {
             kind,
             seq: self.call_seq,
         };
+        self.emit(|| TraceEvent::CallEnter {
+            method: mid,
+            kind,
+            depth: site.depth,
+            seq: site.seq,
+        });
 
         // New frame: receiver and reference arguments stay rooted for the
         // duration of the call.
@@ -399,6 +447,11 @@ impl Vm {
             self.heap.unroot(a);
         }
 
+        self.emit(|| TraceEvent::CallExit {
+            method: mid,
+            seq: site.seq,
+            threw: result.is_err(),
+        });
         match &result {
             Ok(v) => {
                 // Returned references become nameable by the caller.
@@ -407,6 +460,21 @@ impl Vm {
                 }
             }
             Err(e) => {
+                self.emit(|| {
+                    if site.depth > 0 {
+                        TraceEvent::ExcPropagate {
+                            method: mid,
+                            exc: e.ty,
+                            chain: e.chain,
+                            depth: site.depth,
+                        }
+                    } else {
+                        TraceEvent::ExcDeliver {
+                            exc: e.ty,
+                            chain: e.chain,
+                        }
+                    }
+                });
                 self.stats.exceptions_seen += 1;
                 if self.registry.profile().enforce_declared
                     && !e.injected

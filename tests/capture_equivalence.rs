@@ -1,0 +1,79 @@
+//! Differential property of the two before-state capture strategies: over
+//! the full Table 1 suite, `CaptureMode::Eager` (snapshot every observed
+//! call) and `CaptureMode::Lazy` (heap journal + as-of reconstruction)
+//! must classify identically — same marks, same outcomes, same journals —
+//! differing only in the capture statistics they report.
+
+use atomask_suite::{Campaign, CampaignConfig, CaptureMode, RunResult, TraceMode};
+
+/// Cap per app: enough points to cross every app's non-atomic territory
+/// while keeping the differential sweep fast in debug builds.
+const CAP: u64 = 120;
+
+/// Zeroes the fields the two capture modes legitimately disagree on.
+/// Eager snapshots every observed call; lazy snapshots only on exception,
+/// so `snapshots`/`capture_bytes` differ by design. Everything else — the
+/// semantic content of a run — must be bit-for-bit identical.
+fn normalized(run: &RunResult) -> RunResult {
+    let mut run = run.clone();
+    run.snapshots = 0;
+    run.capture_bytes = 0;
+    run
+}
+
+fn config(capture: CaptureMode) -> CampaignConfig {
+    CampaignConfig {
+        capture,
+        // Pinned off, not Auto: lazy capture emits journal push/commit
+        // trace events that eager capture has no reason to, so under a
+        // live recorder the `trace_events` counts would differ by design.
+        trace: TraceMode::Off,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn eager_and_lazy_capture_classify_identically_across_the_suite() {
+    for spec in atomask_suite::apps::all_apps() {
+        let program = spec.program();
+        let eager = Campaign::new(&program)
+            .config(config(CaptureMode::Eager))
+            .max_points(CAP)
+            .run();
+        let lazy = Campaign::new(&program)
+            .config(config(CaptureMode::Lazy))
+            .max_points(CAP)
+            .run();
+
+        assert_eq!(eager.total_points, lazy.total_points, "{}", spec.name);
+        assert_eq!(eager.baseline_calls, lazy.baseline_calls, "{}", spec.name);
+        assert_eq!(eager.runs.len(), lazy.runs.len(), "{}", spec.name);
+        for (e, l) in eager.runs.iter().zip(&lazy.runs) {
+            assert_eq!(
+                normalized(e),
+                normalized(l),
+                "{} point {}: capture modes disagree",
+                spec.name,
+                e.injection_point
+            );
+        }
+
+        // The journals agree the same way: serialize both with the capture
+        // stats normalized and compare the text forms byte for byte.
+        let strip = |result: &atomask_suite::CampaignResult| {
+            let mut journal = atomask_suite::CampaignJournal::new();
+            journal.bind(&result.program);
+            journal.record_baseline(result.total_points, &result.baseline_calls);
+            for run in &result.runs {
+                journal.record_run(&normalized(run));
+            }
+            journal.serialize()
+        };
+        assert_eq!(
+            strip(&eager),
+            strip(&lazy),
+            "{}: journals diverge",
+            spec.name
+        );
+    }
+}

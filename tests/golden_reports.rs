@@ -1,0 +1,78 @@
+//! Golden-file snapshots of the report renderers.
+//!
+//! Every textual artifact the `report` binary prints (Table 1, Figs. 2–4,
+//! the §6.1 case study) is compared byte-for-byte against a checked-in
+//! golden file under `tests/golden/`. Campaigns are deterministic, so any
+//! diff is a real behaviour change: inspect it, then re-bless with
+//! `ATOMASK_BLESS=1 cargo test --test golden_reports`.
+//!
+//! Fig. 5 is excluded — it measures wall time and is not deterministic.
+
+use atomask_suite::report::{
+    evaluate, render_case_study, render_class_distribution, render_method_classification,
+    render_table1, AppEvaluation,
+};
+use atomask_suite::{classify, Campaign, Lang, MarkFilter};
+use std::path::PathBuf;
+
+/// Cap per campaign, chosen to keep the snapshot suite fast in debug
+/// builds while still crossing every app's non-atomic territory.
+const CAP: u64 = 120;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden file
+/// when `ATOMASK_BLESS` is set.
+fn assert_or_bless(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ATOMASK_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); create it with ATOMASK_BLESS=1 cargo test --test golden_reports",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}: if the change is intended, re-bless with ATOMASK_BLESS=1"
+    );
+}
+
+fn evaluation_rows() -> Vec<AppEvaluation> {
+    atomask_suite::apps::all_apps()
+        .iter()
+        .map(|spec| evaluate(spec, Some(CAP)))
+        .collect()
+}
+
+#[test]
+fn table_and_figures_match_goldens() {
+    let rows = evaluation_rows();
+    assert_or_bless("table1.txt", &render_table1(&rows));
+    assert_or_bless("fig2.txt", &render_method_classification(&rows, Lang::Cpp));
+    assert_or_bless("fig3.txt", &render_method_classification(&rows, Lang::Java));
+    assert_or_bless("fig4.txt", &render_class_distribution(&rows));
+}
+
+#[test]
+fn case_study_matches_golden() {
+    let buggy_program = atomask_suite::apps::collections::linked_list::program();
+    let fixed_program = atomask_suite::apps::collections::linked_list::fixed_program();
+    let buggy = classify(
+        &Campaign::new(&buggy_program).max_points(CAP).run(),
+        &MarkFilter::default(),
+    );
+    let fixed = classify(
+        &Campaign::new(&fixed_program).max_points(CAP).run(),
+        &MarkFilter::default(),
+    );
+    assert_or_bless("casestudy.txt", &render_case_study(&buggy, &fixed));
+}
