@@ -6,7 +6,7 @@ use atomask_mor::{FnProgram, MethodResult, Profile, Registry, RegistryBuilder, V
 
 fn register(rb: &mut RegistryBuilder) {
     rb.class("Chunk", |c| {
-        c.field("data", Value::Str(String::new()));
+        c.field("data", Value::from(""));
         c.field("next", Value::Null);
         c.ctor(|ctx, this, args| {
             if let Some(v) = args.first() {
@@ -81,12 +81,12 @@ fn register(rb: &mut RegistryBuilder) {
                 out.push_str(d.as_str().unwrap_or(""));
                 cur = ctx.call_value(&cur, "next", &[])?;
             }
-            Ok(Value::Str(out))
+            Ok(Value::from(out))
         });
         c.method("firstChunk", |ctx, this, _| {
             let head = ctx.get(this, "head");
             if head.is_null() {
-                return Ok(Value::Str(String::new()));
+                return Ok(Value::from(""));
             }
             ctx.call_value(&head, "data", &[])
         });
@@ -125,7 +125,7 @@ fn register(rb: &mut RegistryBuilder) {
                     b.as_str().unwrap_or("").to_owned(),
                 );
                 if a.len() + b.len() <= 8 {
-                    ctx.call_value(&cur, "setData", &[Value::Str(format!("{a}{b}"))])?;
+                    ctx.call_value(&cur, "setData", &[Value::from(format!("{a}{b}"))])?;
                     let after = ctx.call_value(&next, "next", &[])?;
                     ctx.call_value(&cur, "setNext", &[after.clone()])?;
                     if after.is_null() {

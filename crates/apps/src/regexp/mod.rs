@@ -56,7 +56,7 @@ fn register(rb: &mut RegistryBuilder) {
             let text = args[0].as_str().unwrap_or("");
             let i = args[1].as_int().unwrap_or(-1);
             match text.chars().nth(i.max(0) as usize) {
-                Some(ch) if i >= 0 => Ok(Value::Str(ch.to_string())),
+                Some(ch) if i >= 0 => Ok(Value::from(&*ch.encode_utf8(&mut [0u8; 4]))),
                 _ => Ok(Value::Null),
             }
         });
@@ -78,7 +78,7 @@ fn register(rb: &mut RegistryBuilder) {
         c.method("next", |ctx, this, _| Ok(ctx.get(this, "next")));
     });
     rb.class("RxChar", |c| {
-        c.field("ch", Value::Str(String::new()));
+        c.field("ch", Value::from(""));
         c.field("ops", Value::Null);
         c.ctor(|ctx, this, args| {
             ctx.set(this, "ch", args[0].clone());
@@ -254,7 +254,7 @@ fn register(rb: &mut RegistryBuilder) {
     // The recursive-descent pattern parser: its cursor lives in a field,
     // so a mid-parse exception leaves the parser visibly dirty.
     rb.class("Parser", |c| {
-        c.field("pattern", Value::Str(String::new()));
+        c.field("pattern", Value::from(""));
         c.field("pos", int(0));
         c.field("ops", Value::Null);
         c.ctor(|ctx, this, args| {

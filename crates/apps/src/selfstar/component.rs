@@ -9,7 +9,7 @@ use atomask_mor::{RegistryBuilder, Value};
 pub(crate) fn register_channel(rb: &mut RegistryBuilder) {
     rb.class("Channel", |c| {
         c.field("sink", Value::Null);
-        c.field("port", Value::Str("push".to_owned()));
+        c.field("port", Value::from("push"));
         c.ctor(|ctx, this, args| {
             ctx.set(this, "sink", args[0].clone());
             if let Some(p) = args.get(1) {
@@ -36,7 +36,7 @@ pub(crate) fn register_sink(rb: &mut RegistryBuilder) {
         c.field("received", int(0));
         c.field("sum", int(0));
         c.field("last", Value::Null);
-        c.field("log", Value::Str(String::new()));
+        c.field("log", Value::from(""));
         c.ctor(|_, _, _| Ok(Value::Null));
         c.method("push", |ctx, this, args| {
             let received = ctx.get_int(this, "received");
@@ -46,7 +46,7 @@ pub(crate) fn register_sink(rb: &mut RegistryBuilder) {
             ctx.set(this, "received", int(received + 1));
             ctx.set(this, "sum", int(sum + add));
             ctx.set(this, "last", args[0].clone());
-            ctx.set(this, "log", Value::Str(format!("{log}{},", args[0])));
+            ctx.set(this, "log", Value::from(format!("{log}{},", args[0])));
             Ok(Value::Null)
         });
         c.method("received", |ctx, this, _| Ok(ctx.get(this, "received")));
@@ -57,7 +57,7 @@ pub(crate) fn register_sink(rb: &mut RegistryBuilder) {
             ctx.set(this, "received", int(0));
             ctx.set(this, "sum", int(0));
             ctx.set(this, "last", Value::Null);
-            ctx.set(this, "log", Value::Str(String::new()));
+            ctx.set(this, "log", Value::from(""));
             Ok(Value::Null)
         });
     });

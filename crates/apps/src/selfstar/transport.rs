@@ -25,7 +25,7 @@ pub(crate) fn register_transport(rb: &mut RegistryBuilder) {
         c.field("sent", int(0));
         c.field("bytes", int(0));
         c.field("window", int(1 << 16));
-        c.field("wire", Value::Str(String::new()));
+        c.field("wire", Value::from(""));
         c.ctor(|_, _, _| Ok(Value::Null));
         c.method("connect", |ctx, this, _| {
             if ctx.get_int(this, "state") == STATE_OPEN {
@@ -49,7 +49,7 @@ pub(crate) fn register_transport(rb: &mut RegistryBuilder) {
             let wire = ctx.get_str(this, "wire");
             ctx.set(this, "sent", int(sent + 1));
             ctx.set(this, "bytes", int(bytes + payload.len() as i64));
-            ctx.set(this, "wire", Value::Str(format!("{wire}{payload}\u{1e}")));
+            ctx.set(this, "wire", Value::from(format!("{wire}{payload}\u{1e}")));
             Ok(Value::Null)
         })
         .throws(CONN_ERROR);
@@ -66,7 +66,7 @@ pub(crate) fn register_transport(rb: &mut RegistryBuilder) {
         c.method("drainAck", |ctx, this, _| {
             // The peer acknowledged everything: reset the window usage.
             ctx.set(this, "bytes", int(0));
-            ctx.set(this, "wire", Value::Str(String::new()));
+            ctx.set(this, "wire", Value::from(""));
             Ok(Value::Null)
         });
     });

@@ -32,13 +32,13 @@ fn xml_err(ctx: &mut Ctx<'_>, pos: usize, what: &str) -> atomask_mor::Exception 
 pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
     rb.exception(XML_ERROR);
     rb.class("XmlAttr", |c| {
-        c.field("name", Value::Str(String::new()));
-        c.field("value", Value::Str(String::new()));
+        c.field("name", Value::from(""));
+        c.field("value", Value::from(""));
         c.field("next", Value::Null);
     });
     rb.class("XmlElem", |c| {
-        c.field("tag", Value::Str(String::new()));
-        c.field("text", Value::Str(String::new()));
+        c.field("tag", Value::from(""));
+        c.field("text", Value::from(""));
         c.field("firstAttr", Value::Null);
         c.field("firstChild", Value::Null);
         c.field("nextSibling", Value::Null);
@@ -76,7 +76,7 @@ pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
         });
     });
     rb.class("XmlParser", |c| {
-        c.field("input", Value::Str(String::new()));
+        c.field("input", Value::from(""));
         c.ctor(|ctx, this, args| {
             ctx.set(this, "input", args[0].clone());
             Ok(Value::Null)
@@ -222,7 +222,7 @@ pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
         c.method("toXml", |ctx, this, args| {
             let elem = match &args[0] {
                 Value::Ref(id) => *id,
-                _ => return Ok(Value::Str(String::new())),
+                _ => return Ok(Value::from("")),
             };
             let tag = ctx.get_str(elem, "tag");
             let mut out = format!("<{tag}");
@@ -237,7 +237,7 @@ pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
             let first_child = ctx.get(elem, "firstChild");
             if text.is_empty() && first_child.is_null() {
                 out.push_str("/>");
-                return Ok(Value::Str(out));
+                return Ok(Value::from(out));
             }
             out.push('>');
             out.push_str(&text);
@@ -248,7 +248,7 @@ pub(crate) fn register_xml(rb: &mut RegistryBuilder) {
                 child = ctx.get(c, "nextSibling");
             }
             out.push_str(&format!("</{tag}>"));
-            Ok(Value::Str(out))
+            Ok(Value::from(out))
         });
         // Commit-last: the statistic is updated after serialization
         // completed.

@@ -62,7 +62,7 @@ fn register(rb: &mut RegistryBuilder) {
             }
             for &cid in specs.iter().rev() {
                 let kind = ctx.get_str(cid, "tag");
-                let comp = match kind.as_str() {
+                let comp = match &*kind {
                     "doubler" => ctx.new_object("Doubler", &[downstream.clone()])?,
                     "offset" => {
                         let delta = ctx

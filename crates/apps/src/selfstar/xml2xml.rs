@@ -9,8 +9,8 @@ use atomask_mor::{FnProgram, MethodResult, Profile, Registry, RegistryBuilder, V
 fn register(rb: &mut RegistryBuilder) {
     register_xml(rb);
     rb.class("Transformer", |c| {
-        c.field("fromTag", Value::Str(String::new()));
-        c.field("toTag", Value::Str(String::new()));
+        c.field("fromTag", Value::from(""));
+        c.field("toTag", Value::from(""));
         c.field("stripAttrs", Value::Bool(false));
         c.field("nodesRewritten", int(0));
         c.ctor(|ctx, this, args| {

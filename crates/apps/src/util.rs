@@ -9,7 +9,7 @@ pub fn int(v: i64) -> Value {
 
 /// Shorthand for `Value::Str`.
 pub fn s(v: &str) -> Value {
-    Value::Str(v.to_owned())
+    Value::from(v)
 }
 
 /// Runs a driver step whose guest exceptions are part of the scripted

@@ -270,11 +270,11 @@ proptest! {
         let pattern: String = pattern_atoms.concat();
         let mut vm = Vm::new(atomask_apps::regexp::build_registry());
         let re = vm
-            .construct("RegExp", &[Value::Str(pattern.clone())])
+            .construct("RegExp", &[Value::from(pattern.clone())])
             .expect("generated patterns are valid");
         vm.root(re);
         let got = vm
-            .call(re, "matches", &[Value::Str(input.clone())])
+            .call(re, "matches", &[Value::from(input.clone())])
             .unwrap()
             .as_bool()
             .unwrap();

@@ -74,7 +74,7 @@ fn xml_vm() -> Vm {
 }
 
 fn parse(vm: &mut Vm, doc: &str) -> Result<ObjId, atomask_mor::Exception> {
-    let p = vm.construct("XmlParser", &[Value::Str(doc.to_owned())])?;
+    let p = vm.construct("XmlParser", &[Value::from(doc)])?;
     vm.root(p);
     let root = vm.call(p, "parseDocument", &[])?;
     Ok(root.as_ref_id().expect("document root"))
@@ -125,7 +125,7 @@ proptest! {
         let broken: String = rendered.chars().take(cut).collect();
         let mut vm = xml_vm();
         let p = vm
-            .construct("XmlParser", &[Value::Str(broken)])
+            .construct("XmlParser", &[Value::from(broken)])
             .expect("ctor");
         vm.root(p);
         let before = Snapshot::of(vm.heap(), p);
@@ -145,9 +145,9 @@ proptest! {
                 continue; // deduplicated at render time
             }
             let got = vm
-                .call(root, "attr", &[Value::Str(k.clone())])
+                .call(root, "attr", &[Value::from(k.clone())])
                 .unwrap();
-            prop_assert_eq!(got, Value::Str(v.clone()));
+            prop_assert_eq!(got, Value::from(v.clone()));
         }
         let missing = vm
             .call(root, "attr", &[Value::Str("zzz-missing".into())])

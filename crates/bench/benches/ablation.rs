@@ -51,10 +51,10 @@ fn failing_vm(object_bytes: usize) -> (Vm, atomask::ObjId, atomask::MethodId) {
     let mut rb = RegistryBuilder::new(Profile::cpp());
     rb.exception("Boom");
     rb.class("Holder", |c| {
-        c.field("payload", Value::Str(String::new()));
+        c.field("payload", Value::from(""));
         c.field("a", Value::Int(0));
         c.ctor(move |ctx, this, _| {
-            ctx.set(this, "payload", Value::Str("x".repeat(object_bytes)));
+            ctx.set(this, "payload", Value::from("x".repeat(object_bytes)));
             Ok(Value::Null)
         });
         c.method("failing", |ctx, this, _| {

@@ -1,0 +1,153 @@
+//! Hot-path micro-benchmarks for the sweep-throughput engine: the heap
+//! write journal (push/write/abort and epoch reset), incremental graph
+//! fingerprints under small dirty sets, and the injection wrapper's
+//! fast-forward point counting on disarmed calls. These are the inner
+//! loops whose constants set the detection campaign's points/sec.
+
+use atomask::synthetic::perf_vm;
+use atomask::{CaptureMode, InjectionHook};
+use atomask_mor::{ObjId, Profile, RegistryBuilder, Value, Vm};
+use atomask_objgraph::{graph_fingerprint, FingerprintCache};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// A VM whose heap holds a rooted singly linked list of `n` nodes; returns
+/// the head and a node from the middle of the list.
+fn list_vm(n: usize) -> (Vm, ObjId, ObjId) {
+    let mut rb = RegistryBuilder::new(Profile::cpp());
+    rb.class("Node", |c| {
+        c.field("val", Value::Int(0));
+        c.field("next", Value::Null);
+        c.ctor(|_, _, _| Ok(Value::Null));
+    });
+    let mut vm = Vm::new(rb.build());
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = vm.construct("Node", &[]).expect("ctor cannot fail");
+        vm.heap_mut()
+            .set_field(id, "val", Value::Int(i as i64))
+            .unwrap();
+        if let Some(&prev) = ids.last() {
+            vm.heap_mut()
+                .set_field(prev, "next", Value::Ref(id))
+                .unwrap();
+        }
+        ids.push(id);
+    }
+    let head = ids[0];
+    vm.root(head);
+    (vm, head, ids[n / 2])
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap_journal");
+    // The lazy-capture wrapper's skeleton: open a layer, do a method's
+    // worth of writes, throw it away (exception path) or keep it.
+    group.bench_function("push_write8_abort", |b| {
+        let (mut vm, h) = perf_vm(64);
+        b.iter(|| {
+            let heap = vm.heap_mut();
+            heap.push_journal();
+            for i in 0..8 {
+                heap.set_field(h, "a", Value::Int(i)).unwrap();
+            }
+            black_box(heap.abort_journal())
+        });
+    });
+    // Level-1 of the lazy comparison: writes that net out to nil, detected
+    // in O(writes) without touching the object graph.
+    group.bench_function("push_write_revert_check", |b| {
+        let (mut vm, h) = perf_vm(64);
+        let original = vm.heap().field(h, "a").unwrap();
+        b.iter(|| {
+            let heap = vm.heap_mut();
+            heap.push_journal();
+            heap.set_field(h, "a", Value::Int(77)).unwrap();
+            heap.set_field(h, "a", original.clone()).unwrap();
+            let reverted = heap.journal_innermost_reverted();
+            heap.abort_journal();
+            black_box(reverted)
+        });
+    });
+    // The recycled-universe reset: how fast a populated heap returns to
+    // the pristine epoch (Vec capacity is retained across resets).
+    group.bench_function("construct16_epoch_reset", |b| {
+        let (mut vm, _) = perf_vm(64);
+        vm.heap_mut().epoch_reset();
+        b.iter(|| {
+            for _ in 0..16 {
+                vm.construct("Holder", &[]).expect("ctor cannot fail");
+            }
+            vm.heap_mut().epoch_reset();
+        });
+    });
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    const NODES: usize = 256;
+    let mut group = c.benchmark_group("fingerprint");
+    // Cold: every node hashed from scratch (the price of a cache miss).
+    group.bench_function("cold_256", |b| {
+        let (vm, head, _) = list_vm(NODES);
+        let roots = [head];
+        b.iter(|| {
+            let mut cache = FingerprintCache::new();
+            black_box(graph_fingerprint(
+                vm.heap(),
+                &roots,
+                &mut cache,
+                &HashSet::new(),
+            ))
+        });
+    });
+    // Warm with a 1-node dirty set: the exception path's incremental
+    // recomputation after a typical small write set.
+    group.bench_function("warm_dirty1_of_256", |b| {
+        let (vm, head, mid) = list_vm(NODES);
+        let roots = [head];
+        let mut cache = FingerprintCache::new();
+        graph_fingerprint(vm.heap(), &roots, &mut cache, &HashSet::new());
+        let dirty: HashSet<ObjId> = [mid].into_iter().collect();
+        b.iter(|| black_box(graph_fingerprint(vm.heap(), &roots, &mut cache, &dirty)));
+    });
+    // Fully warm, empty dirty set: the floor (walk + cache reads only).
+    group.bench_function("warm_clean_256", |b| {
+        let (vm, head, _) = list_vm(NODES);
+        let roots = [head];
+        let mut cache = FingerprintCache::new();
+        graph_fingerprint(vm.heap(), &roots, &mut cache, &HashSet::new());
+        let clean = HashSet::new();
+        b.iter(|| black_box(graph_fingerprint(vm.heap(), &roots, &mut cache, &clean)));
+    });
+    group.finish();
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_counting");
+    // One hooked call far below the armed window, with fast-forward's
+    // single arithmetic step vs. Listing 1's literal per-type loop.
+    for ff in [true, false] {
+        let label = if ff { "fast_forward" } else { "per_type_loop" };
+        group.bench_with_input(BenchmarkId::new("disarmed_call", label), &ff, |b, &ff| {
+            let (mut vm, h) = perf_vm(64);
+            let hook = InjectionHook::with_injection_point(u64::MAX)
+                .capture(CaptureMode::Lazy)
+                .fast_forward(ff);
+            vm.set_hook(Some(Rc::new(RefCell::new(hook))));
+            b.iter(|| black_box(vm.call(h, "work", &[]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_journal,
+    bench_fingerprint,
+    bench_fast_forward
+);
+criterion_main!(benches);

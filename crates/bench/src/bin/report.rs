@@ -3,6 +3,7 @@
 //! ```text
 //! report [table1|fig2|fig3|fig4|fig5|casestudy|perf|all] [--quick]
 //! report repro --app <name> --point <n>
+//! report perfgate [--tolerance <pct>]
 //! ```
 //!
 //! `--quick` caps every campaign at 300 injection points and shrinks the
@@ -16,13 +17,23 @@
 //! flight recorder on: it prints the full event trace, the minimized
 //! divergence, and a comparison against a fresh campaign's recorded
 //! classification of the same point.
+//!
+//! `perfgate` is the CI throughput smoke test: it re-measures every
+//! application's *sequential* sweep, compares the geomean points/sec
+//! against the committed `BENCH_detection.json`, and exits non-zero when
+//! the live number regresses by more than the tolerance (default 20%).
+//! Faster-than-committed is never an error — CI machines vary; the gate
+//! only catches real throughput cliffs.
 
 use atomask::report::{
     render_case_study, render_class_distribution, render_method_classification, render_overhead,
     render_replay, render_run_health, render_table1,
 };
 use atomask::{classify, overhead, Campaign, Lang, MarkFilter};
-use atomask_bench::{detection_perf_json, evaluate_apps, measure_detection};
+use atomask_bench::{
+    detection_perf_json, evaluate_apps, geomean, geomean_sequential_pps, measure_detection,
+    parse_sequential_pps,
+};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -69,6 +80,44 @@ fn repro(args: &[String]) {
     }
 }
 
+fn perfgate(args: &[String]) {
+    let tolerance_pct: f64 = flag_value(args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let committed = std::fs::read_to_string("BENCH_detection.json").unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read BENCH_detection.json: {e}");
+        std::process::exit(2);
+    });
+    let committed_pps = parse_sequential_pps(&committed);
+    if committed_pps.is_empty() {
+        eprintln!("perfgate: no sequential_points_per_sec rows in BENCH_detection.json");
+        std::process::exit(2);
+    }
+    let committed_geomean = geomean(committed_pps.iter().copied());
+    // Sequential throughput only: it is what the committed geomean tracks
+    // and it sidesteps CI-runner core-count variance entirely. Workers=1
+    // below is the sharding plan, not the sweep shape — `measure_detection`
+    // still times its parallel leg, which the gate ignores.
+    let rows: Vec<_> = atomask::apps::all_apps()
+        .iter()
+        .map(|spec| {
+            eprintln!("perfgate: profiling {} ...", spec.name);
+            measure_detection(spec, None, 1)
+        })
+        .collect();
+    let live_geomean = geomean_sequential_pps(&rows);
+    let floor = committed_geomean * (1.0 - tolerance_pct / 100.0);
+    println!(
+        "perfgate: sequential geomean {live_geomean:.1} points/sec \
+         (committed {committed_geomean:.1}, floor {floor:.1} at -{tolerance_pct:.0}%)"
+    );
+    if live_geomean < floor {
+        println!("perfgate: FAIL — sequential sweep throughput regressed past the tolerance");
+        std::process::exit(1);
+    }
+    println!("perfgate: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -81,6 +130,10 @@ fn main() {
 
     if what == "repro" {
         repro(&args);
+        return;
+    }
+    if what == "perfgate" {
+        perfgate(&args);
         return;
     }
 

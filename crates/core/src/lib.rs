@@ -61,11 +61,14 @@ pub use atomask_mask::{
     MaskingHook, Policy, UndoMaskingHook, UndoStats,
 };
 pub use atomask_mor::{
-    Budget, CallHook, CallKind, CallSite, ClassBuilder, ClassId, Ctx, ExcId, Exception, FnProgram,
-    Heap, HookChain, Lang, MethodId, MethodResult, MorError, ObjId, Profile, Program, Registry,
-    RegistryBuilder, RingBufferSink, TraceEvent, TraceSink, Value, Vm,
+    AsOfHeap, Budget, CallHook, CallKind, CallSite, ClassBuilder, ClassId, Ctx, ExcId, Exception,
+    FnProgram, Heap, HookChain, Lang, MethodId, MethodResult, MorError, ObjId, Profile, Program,
+    Registry, RegistryBuilder, RingBufferSink, TraceEvent, TraceSink, Value, Vm,
 };
-pub use atomask_objgraph::{graph_size, Checkpoint, GraphSize, Snapshot};
+pub use atomask_objgraph::{
+    fingerprint_of_roots, graph_fingerprint, graph_size, Checkpoint, FingerprintCache, GraphSize,
+    GraphSource, Snapshot,
+};
 
 /// The evaluation applications (re-export of `atomask-apps`).
 pub mod apps {

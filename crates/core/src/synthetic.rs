@@ -87,18 +87,38 @@ fn validation_registry() -> Registry {
     rb.build()
 }
 
+/// Bytes carried by one chunk of the Fig. 5 payload chain.
+const CHUNK_BYTES: usize = 64;
+
 /// Builds the Fig. 5 performance workload registry: a `Holder` whose
-/// `payload` string weighs `object_bytes`, with a `work` method whose body
+/// `payload` weighs `object_bytes`, with a `work` method whose body
 /// performs a fixed amount of field traffic (the paper's ≈0.5 µs base
 /// method).
+///
+/// The payload is a chain of fixed-size `Chunk` objects rather than one
+/// big string: string storage is shared (`Rc<str>`), so copying a string
+/// value is a refcount bump no matter its length, and a checkpoint's cost
+/// scales with the number of *objects* it captures. The chain keeps
+/// Fig. 5's object-size axis meaningful under that representation.
 pub fn perf_registry(object_bytes: usize) -> Registry {
     let mut rb = RegistryBuilder::new(Profile::cpp());
+    rb.class("Chunk", |c| {
+        c.field("data", Value::from(""));
+        c.field("next", Value::Null);
+    });
     rb.class("Holder", |c| {
-        c.field("payload", Value::Str(String::new()));
+        c.field("payload", Value::Null);
         c.field("a", Value::Int(0));
         c.field("b", Value::Int(0));
         c.ctor(move |ctx, this, _| {
-            ctx.set(this, "payload", Value::Str("x".repeat(object_bytes)));
+            let mut head = Value::Null;
+            for _ in 0..object_bytes.div_ceil(CHUNK_BYTES).max(1) {
+                let chunk = ctx.alloc("Chunk");
+                ctx.set(chunk, "data", Value::from("x".repeat(CHUNK_BYTES)));
+                ctx.set(chunk, "next", head);
+                head = Value::Ref(chunk);
+            }
+            ctx.set(this, "payload", head);
             Ok(Value::Null)
         });
         // The base method: a handful of reads/writes, no nested calls.

@@ -32,7 +32,7 @@ impl InjectionPlan {
 pub fn method_injection_plan(registry: &Registry, method: MethodId) -> InjectionPlan {
     InjectionPlan {
         method,
-        exceptions: registry.injectable_exceptions(method),
+        exceptions: registry.injectable_exceptions(method).to_vec(),
         instrumented: registry.instrumentable(method),
     }
 }

@@ -442,6 +442,7 @@ pub struct Campaign<'p> {
     inner_hook: Option<InnerHookFactory>,
     max_points: Option<u64>,
     config: CampaignConfig,
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -462,7 +463,19 @@ impl<'p> Campaign<'p> {
             inner_hook: None,
             max_points: None,
             config: CampaignConfig::default(),
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the injection wrappers' phase-gated fast-forward
+    /// (on by default). With it off, every sweep run counts points through
+    /// Listing 1's literal per-exception-type loop. The two modes are
+    /// equivalent by construction — this switch exists so the equivalence
+    /// can be *tested* at campaign level, and as an escape hatch while
+    /// debugging the gate itself.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
     }
 
     /// Weaves an additional hook *inside* the injection wrappers in every
@@ -630,6 +643,10 @@ impl<'p> Campaign<'p> {
         registry: &Rc<Registry>,
         limit: u64,
     ) -> Vec<RunResult> {
+        // One reusable VM universe for the whole sweep: every attempt
+        // resets it to the pristine epoch instead of rebuilding the heap
+        // and chain tables per injection point.
+        let mut vm = Vm::from_shared_registry(registry.clone());
         let mut runs = Vec::with_capacity(limit as usize);
         let mut unhealthy = 0u64;
         for injection_point in 1..=limit {
@@ -644,7 +661,7 @@ impl<'p> Campaign<'p> {
             let run = if self.config.max_failures.is_some_and(|cap| unhealthy >= cap) {
                 RunResult::skipped(injection_point)
             } else {
-                self.run_point(registry, injection_point)
+                self.run_point(&mut vm, injection_point)
             };
             if !run.is_healthy() {
                 unhealthy += 1;
@@ -683,10 +700,12 @@ impl<'p> Campaign<'p> {
             for _ in 0..workers {
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    // Each worker owns a private registry universe; the
-                    // program promises identical builds, so ids (and thus
-                    // results) are identical across workers.
+                    // Each worker owns a private registry + VM universe;
+                    // the program promises identical builds, so ids (and
+                    // thus results) are identical across workers. The VM is
+                    // recycled across every point the worker claims.
                     let registry = Rc::new(self.program.build_registry());
+                    let mut vm = Vm::from_shared_registry(registry.clone());
                     while !cancelled.load(Ordering::Relaxed) {
                         let claim = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&point) = missing.get(claim) else {
@@ -695,24 +714,25 @@ impl<'p> Campaign<'p> {
                         // `run_point` already isolates guest panics; a
                         // panic *outside* it is a harness bug, but a
                         // poisoned result keeps the writer from waiting
-                        // forever on the claimed point.
-                        let run =
-                            catch_unwind(AssertUnwindSafe(|| self.run_point(&registry, point)))
-                                .unwrap_or_else(|payload| RunResult {
-                                    injection_point: point,
-                                    injected: None,
-                                    marks: Vec::new(),
-                                    top_error: Some(format!(
-                                        "panic: harness: {}",
-                                        panic_message(payload.as_ref())
-                                    )),
-                                    outcome: RunOutcome::Panicked,
-                                    retries: 0,
-                                    fuel_spent: 0,
-                                    snapshots: 0,
-                                    capture_bytes: 0,
-                                    trace_events: 0,
-                                });
+                        // forever on the claimed point. The recycled VM is
+                        // safe to keep either way: the next attempt's
+                        // `reset_for_run` discards whatever the unwind left.
+                        let run = catch_unwind(AssertUnwindSafe(|| self.run_point(&mut vm, point)))
+                            .unwrap_or_else(|payload| RunResult {
+                                injection_point: point,
+                                injected: None,
+                                marks: Vec::new(),
+                                top_error: Some(format!(
+                                    "panic: harness: {}",
+                                    panic_message(payload.as_ref())
+                                )),
+                                outcome: RunOutcome::Panicked,
+                                retries: 0,
+                                fuel_spent: 0,
+                                snapshots: 0,
+                                capture_bytes: 0,
+                                trace_events: 0,
+                            });
                         if tx.send(run).is_err() {
                             break;
                         }
@@ -767,11 +787,11 @@ impl<'p> Campaign<'p> {
 
     /// Runs one injection point to a final outcome, retrying unhealthy runs
     /// per the [`RetryPolicy`] with a scaled-up budget.
-    fn run_point(&self, registry: &Rc<Registry>, injection_point: u64) -> RunResult {
+    fn run_point(&self, vm: &mut Vm, injection_point: u64) -> RunResult {
         let mut budget = self.config.budget;
         let mut attempt = 0u32;
         loop {
-            let mut run = self.attempt_point(registry, injection_point, budget);
+            let mut run = self.attempt_point(vm, injection_point, budget);
             run.retries = attempt;
             let retryable = matches!(run.outcome, RunOutcome::Diverged | RunOutcome::Panicked);
             if !retryable || attempt >= self.config.retry.max_retries {
@@ -784,24 +804,20 @@ impl<'p> Campaign<'p> {
 
     /// One isolated attempt at one injection point, with the configured
     /// flight recorder (if any).
-    fn attempt_point(
-        &self,
-        registry: &Rc<Registry>,
-        injection_point: u64,
-        budget: Budget,
-    ) -> RunResult {
+    fn attempt_point(&self, vm: &mut Vm, injection_point: u64, budget: Budget) -> RunResult {
         let tracer = self
             .config
             .trace
             .resolve()
             .map(|cap| Rc::new(RefCell::new(RingBufferSink::new(cap))));
         self.attempt_point_traced(
-            registry,
+            vm,
             injection_point,
             budget,
             tracer,
             self.effective_capture(),
             false,
+            self.fast_forward,
         )
         .0
     }
@@ -809,16 +825,22 @@ impl<'p> Campaign<'p> {
     /// One isolated attempt at one injection point with explicit tracing,
     /// capture, and minimization controls. The workhorse behind both the
     /// sweep ([`Campaign::attempt_point`]) and [`Campaign::replay`].
+    #[allow(clippy::too_many_arguments)]
     fn attempt_point_traced(
         &self,
-        registry: &Rc<Registry>,
+        vm: &mut Vm,
         injection_point: u64,
         budget: Budget,
         tracer: Option<Rc<RefCell<RingBufferSink>>>,
         capture: CaptureMode,
         minimize: bool,
+        fast_forward: bool,
     ) -> (RunResult, Option<Divergence>) {
-        let mut vm = Vm::from_shared_registry(registry.clone());
+        // Recycled VM universe: reset to the pristine epoch (heap, frames,
+        // stats, chains, budget) instead of rebuilding the whole VM. The
+        // reset also makes a previous attempt's panic harmless — whatever
+        // guest state the unwind left behind is discarded here.
+        vm.reset_for_run();
         vm.set_budget(budget);
         if let Some(t) = &tracer {
             vm.set_tracer(Some(t.clone()));
@@ -826,19 +848,21 @@ impl<'p> Campaign<'p> {
         let hook = Rc::new(RefCell::new(
             InjectionHook::with_injection_point(injection_point)
                 .capture(capture)
-                .minimize_divergence(minimize),
+                .minimize_divergence(minimize)
+                .fast_forward(fast_forward),
         ));
-        self.install(&mut vm, hook.clone());
+        self.install(vm, hook.clone());
         // Panic isolation: a panicking application body unwinds out of
         // `Program::run`; the VM is only inspected for fuel afterwards and
-        // then discarded, so AssertUnwindSafe is sound here.
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.program.run(&mut vm)));
+        // then reset before its next run, so AssertUnwindSafe is sound here.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.program.run(&mut *vm)));
         // Release the VM's clone(s) of the hook (direct or via a HookChain)
-        // so the results can be moved out.
+        // so the results can be moved out, and its tracer clone so callers
+        // can unwrap the ring buffer.
         vm.set_hook(None);
         let diverged = vm.fuel_exhausted();
         let fuel_spent = vm.fuel_spent();
-        drop(vm);
+        vm.set_tracer(None);
         let mut hook = extract_hook_state(hook, self.config.diagnostics);
         let divergence = hook.take_divergence();
         let capture = hook.capture_stats();
@@ -880,44 +904,54 @@ impl<'p> Campaign<'p> {
     /// always on and returns the full artifact: run record, event trace,
     /// and (for non-atomic points) the minimized divergence.
     ///
-    /// Replay is deterministic: it rebuilds the registry and a fresh VM
-    /// exactly as the sweep does for that point, so the marks and outcome
-    /// match the campaign's journal bit for bit — independent of worker
-    /// count, and independent of whether the campaign traced. Replay knows
-    /// nothing of journals, retry history, or `max_failures`: a point the
-    /// campaign recorded as [`RunOutcome::Skipped`] is executed for real
-    /// here, under a fresh `config.budget`.
+    /// Replay is deterministic: it rebuilds the registry and runs the point
+    /// exactly as the sweep does, so the marks and outcome match the
+    /// campaign's journal bit for bit — independent of worker count, and
+    /// independent of whether the campaign traced. Replay knows nothing of
+    /// journals, retry history, or `max_failures`: a point the campaign
+    /// recorded as [`RunOutcome::Skipped`] is executed for real here, under
+    /// a fresh `config.budget`.
+    ///
+    /// Unlike the sweep, replay always runs with fast-forward **off**:
+    /// it is the debugging/reference execution, so it counts points through
+    /// Listing 1's literal per-exception-type loop and performs the full
+    /// structural comparison, never the fingerprint fast path. The two
+    /// modes are equivalent by construction (and property-tested), so a
+    /// replay that disagrees with the sweep's journal directly indicts the
+    /// fast-forward gate.
     ///
     /// The replay ring is large (`2^20` events); if a run emits more,
     /// [`ReplayReport::trace_dropped`] says how many early events fell off.
     pub fn replay(&self, injection_point: u64) -> ReplayReport {
         const REPLAY_RING_CAPACITY: usize = 1 << 20;
         let registry = Rc::new(self.program.build_registry());
+        let mut vm = Vm::from_shared_registry(registry.clone());
         let tracer = Rc::new(RefCell::new(RingBufferSink::new(REPLAY_RING_CAPACITY)));
         let capture = self.effective_capture();
-        // The minimizer needs the lazy undo log open at propagation time;
-        // under an eager or inner-hook configuration the first pass runs
-        // exactly as the campaign did and a second, lazy pass (below)
-        // derives the divergence.
-        let minimize = capture == CaptureMode::Lazy;
+        // First pass: the recorded run, bit-for-bit what the sweep journals
+        // for this point. No minimizer here — it needs the lazy undo log
+        // open at propagation time and the full comparison, so the second
+        // pass below derives the divergence instead.
         let (run, mut divergence) = self.attempt_point_traced(
-            &registry,
+            &mut vm,
             injection_point,
             self.config.budget,
             Some(tracer.clone()),
             capture,
-            minimize,
+            false,
+            false,
         );
         if divergence.is_none() && self.inner_hook.is_none() && run.marks.iter().any(|m| !m.atomic)
         {
             divergence = self
                 .attempt_point_traced(
-                    &registry,
+                    &mut vm,
                     injection_point,
                     self.config.budget,
                     None,
                     CaptureMode::Lazy,
                     true,
+                    false,
                 )
                 .1;
         }

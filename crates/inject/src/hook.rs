@@ -5,7 +5,8 @@ use crate::replay::Divergence;
 use atomask_mor::{
     CallHook, CallSite, ExcId, Exception, HookGuard, MethodId, MethodResult, ObjId, TraceEvent, Vm,
 };
-use atomask_objgraph::Snapshot;
+use atomask_objgraph::{graph_fingerprint, FingerprintCache, Snapshot};
+use std::collections::HashSet;
 
 /// How the injection wrapper captures the pre-call state it compares
 /// against when an exception propagates (Listing 1 line 6).
@@ -34,13 +35,42 @@ pub struct CaptureStats {
     pub capture_bytes: u64,
 }
 
-/// Guard carried from `before` to `after` for observed calls.
-enum CaptureGuard {
-    /// The eager before-snapshot.
-    Eager(Snapshot),
-    /// A journal layer is open; the before-state lives in the undo log.
-    Lazy,
+/// Phase of the fast-forward gate (sweep-throughput engine).
+///
+/// A sweep run targets exactly one `InjectionPoint`; every wrapped call
+/// before the armed window only needs to *advance the counter*. The gate
+/// makes that explicit:
+///
+/// * **Disarmed** — the global counter has not reached the window yet.
+///   Each call advances the counter by its full per-method exception-type
+///   count in one arithmetic step (no per-type iteration). Capture
+///   behaviour is untouched: lazy capture still pushes its O(1) journal
+///   watermark, because *enclosing* frames of the eventual injection need
+///   their undo context when the exception unwinds through them.
+/// * **Armed** — the counter's window for this call contains the target
+///   point: the firing exception type is picked by offset arithmetic and
+///   thrown, exactly where the per-type loop would have thrown it.
+/// * **Fired** — the injection happened; subsequent calls (a program may
+///   catch the injected exception and continue) advance the counter
+///   arithmetically again, since the target can never match twice.
+///
+/// Every transition preserves the counter values, firing behaviour, trace
+/// emission, capture stats, and marks of the always-armed per-type loop
+/// bit for bit; `crates/inject/tests/fastforward_equivalence.rs` proves
+/// it property-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Before the armed window (or no target point at all).
+    Disarmed,
+    /// Transiently inside the armed window of the current call.
+    Armed,
+    /// The target point fired earlier in this run.
+    Fired,
 }
+
+/// Lazy capture guard: a zero-sized marker (boxing it does not allocate).
+/// The before-state lives in the heap's undo log, not in the guard.
+struct LazyGuard;
 
 /// The per-run state of the exception injector program.
 ///
@@ -71,59 +101,58 @@ pub struct InjectionHook {
     marks: Vec<Mark>,
     minimize: bool,
     divergence: Option<Divergence>,
+    /// Whether the fast-forward gate may replace the per-type counting
+    /// loop with arithmetic advances outside the armed window.
+    fast_forward: bool,
+    phase: Phase,
+    /// Memoized per-object structural hashes for the fingerprint fast
+    /// path, persisted across the wrappers of one propagation cascade
+    /// (the heap does not mutate while an exception unwinds).
+    fp_cache: FingerprintCache,
+    /// The heap mutation epoch `fp_cache` was filled against; a moved
+    /// epoch invalidates the whole cache.
+    fp_epoch: Option<u64>,
 }
 
 impl InjectionHook {
-    /// A counting-only hook: never injects, never snapshots. Used for the
-    /// initial run that sizes the campaign (`InjectionPoint` sweeps
-    /// `1..=points()`) and doubles as the *original program* run whose call
-    /// statistics weight Figs. 2b/3b.
-    pub fn counting() -> Self {
+    fn base(injection_point: Option<u64>, observe: bool) -> Self {
         InjectionHook {
             point: 0,
-            injection_point: None,
-            observe: false,
+            injection_point,
+            observe,
             capture: CaptureMode::Eager,
             stats: CaptureStats::default(),
             injected: None,
             marks: Vec::new(),
             minimize: false,
             divergence: None,
+            fast_forward: true,
+            phase: Phase::Disarmed,
+            fp_cache: FingerprintCache::new(),
+            fp_epoch: None,
         }
+    }
+
+    /// A counting-only hook: never injects, never snapshots. Used for the
+    /// initial run that sizes the campaign (`InjectionPoint` sweeps
+    /// `1..=points()`) and doubles as the *original program* run whose call
+    /// statistics weight Figs. 2b/3b.
+    pub fn counting() -> Self {
+        Self::base(None, false)
     }
 
     /// A full injector-run hook that throws at the `injection_point`-th
     /// potential point (1-based) and performs atomicity checks with eager
     /// capture. Use [`InjectionHook::capture`] to switch capture modes.
     pub fn with_injection_point(injection_point: u64) -> Self {
-        InjectionHook {
-            point: 0,
-            injection_point: Some(injection_point),
-            observe: true,
-            capture: CaptureMode::Eager,
-            stats: CaptureStats::default(),
-            injected: None,
-            marks: Vec::new(),
-            minimize: false,
-            divergence: None,
-        }
+        Self::base(Some(injection_point), true)
     }
 
     /// An observation-only hook: snapshots and marks, but never injects.
     /// Used when validating a corrected program against the exceptions the
     /// application itself throws.
     pub fn observing() -> Self {
-        InjectionHook {
-            point: 0,
-            injection_point: None,
-            observe: true,
-            capture: CaptureMode::Eager,
-            stats: CaptureStats::default(),
-            injected: None,
-            marks: Vec::new(),
-            minimize: false,
-            divergence: None,
-        }
+        Self::base(None, true)
     }
 
     /// Selects how pre-call state is captured (builder style; default for
@@ -142,6 +171,16 @@ impl InjectionHook {
     /// point).
     pub fn minimize_divergence(mut self, on: bool) -> Self {
         self.minimize = on;
+        self
+    }
+
+    /// Enables or disables the fast-forward gate (builder style; default
+    /// **on** — the gate is observationally identical to the per-type
+    /// loop). Replay and the divergence minimizer turn it off so the
+    /// debugging path stays on the literal Listing 1 reference execution:
+    /// a sweep/replay disagreement then directly indicts the gate.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 
@@ -185,6 +224,95 @@ impl InjectionHook {
             Some(diff) => Mark::nonatomic(site.method, exc.chain, diff),
         });
     }
+
+    /// Listing 1 lines 10-14 under lazy capture: compare the layer-open
+    /// state against the live heap, mark, and fold the layer.
+    ///
+    /// The comparison is staged from cheapest to most detailed; each stage
+    /// only runs when the previous one could not already decide:
+    ///
+    /// 1. **Revert check, O(dirty)** — if every journaled cell reads its
+    ///    layer-open value bit-for-bit, the graphs are provably equal:
+    ///    mark atomic without touching the graph at all.
+    /// 2. **Fingerprint compare** — 64-bit structural hashes of both
+    ///    views, memoized per object through [`FingerprintCache`] and
+    ///    invalidated via the heap's mutation epoch plus the layer's
+    ///    dirty set. Equal hashes mark atomic; since the fingerprint is a
+    ///    pure function of the canonical trace, *unequal* hashes prove
+    ///    the traces differ.
+    /// 3. **Full structural diff** — only on fingerprint mismatch, to
+    ///    produce the `first_difference` detail for the non-atomic mark
+    ///    (and the snapshot the minimizer probes against).
+    ///
+    /// When the divergence minimizer is enabled (replay), stages 1-2 are
+    /// skipped: the minimizer needs the full before-snapshot and probes
+    /// the heap (which would thrash the cache), and replay deliberately
+    /// stays on the reference path.
+    fn lazy_compare(&mut self, vm: &mut Vm, site: &CallSite, exc: &Exception) {
+        if !self.minimize {
+            // Stage 1: exact O(dirty) revert check.
+            if vm.heap().journal_innermost_reverted() {
+                self.marks.push(Mark::atomic(site.method, exc.chain));
+                vm.heap_mut().commit_journal();
+                return;
+            }
+            // Stage 2: fingerprint compare. The cache survives across the
+            // wrappers of one propagation cascade — the heap cannot
+            // mutate while the exception unwinds — and is dropped
+            // wholesale when the mutation epoch moves.
+            let epoch = vm.heap().mutation_epoch();
+            if self.fp_epoch != Some(epoch) {
+                self.fp_cache.clear();
+                self.fp_epoch = Some(epoch);
+            }
+            let roots = snapshot_roots(site);
+            let heap = vm.heap();
+            let dirty = heap.journal_innermost_touched();
+            // After-walk first: it fills the cache against the live heap,
+            // which the before-walk then reuses for every clean object.
+            let after_fp = graph_fingerprint(heap, &roots, &mut self.fp_cache, &HashSet::new());
+            let asof = heap
+                .asof_innermost()
+                .expect("lazy capture layer is open in after()");
+            let before_fp = graph_fingerprint(&asof, &roots, &mut self.fp_cache, &dirty);
+            if before_fp == after_fp {
+                self.marks.push(Mark::atomic(site.method, exc.chain));
+                vm.heap_mut().commit_journal();
+                return;
+            }
+        }
+        // Stage 3: reconstruct the before-graph from the undo log, trace
+        // the live heap for the after-graph, compare, mark, fold.
+        let roots = snapshot_roots(site);
+        let (before, after) = {
+            let heap = vm.heap();
+            let asof = heap
+                .asof_innermost()
+                .expect("lazy capture layer is open in after()");
+            (
+                Snapshot::of_source(&asof, &roots),
+                Snapshot::of_roots(heap, &roots),
+            )
+        };
+        self.stats.snapshots += 2;
+        self.stats.capture_bytes += before.approx_bytes() + after.approx_bytes();
+        self.push_mark(site, exc, &before, &after);
+        // The undo log is still open here — the only moment the
+        // surviving write set is cheaply enumerable — so the minimizer
+        // (replay only) runs on the *first* non-atomic mark, the
+        // innermost wrapper on the propagation path.
+        if self.minimize && self.divergence.is_none() {
+            if let Some(mark) = self.marks.last() {
+                if !mark.atomic {
+                    let diff = mark.diff.clone().unwrap_or_default();
+                    self.divergence = Some(crate::replay::minimize_divergence(
+                        vm, site, exc.chain, diff, &before, &roots,
+                    ));
+                }
+            }
+        }
+        vm.heap_mut().commit_journal();
+    }
 }
 
 fn snapshot_roots(site: &CallSite) -> Vec<ObjId> {
@@ -203,16 +331,46 @@ impl CallHook for InjectionHook {
         }
         // Listing 1 lines 2-5: one potential injection point per exception
         // type of the wrapped method.
-        for exc in registry.injectable_exceptions(site.method) {
-            self.point += 1;
-            if Some(self.point) == self.injection_point {
-                self.injected = Some((site.method, exc));
-                vm.trace(TraceEvent::InjectionFire {
-                    method: site.method,
-                    exc,
-                    point: self.point,
-                });
-                return Err(Exception::injected(exc, site.method));
+        let excs = registry.injectable_exceptions(site.method);
+        let n = excs.len() as u64;
+        if self.fast_forward {
+            // Phase-gated counting: outside the armed window the counter
+            // advances by the whole per-method type count in one step —
+            // identical final value, no iteration.
+            match self.injection_point {
+                Some(ip)
+                    if self.phase != Phase::Fired && self.point < ip && self.point + n >= ip =>
+                {
+                    // Armed: the target lands inside this call's window.
+                    // The (ip − point)-th type of this method is exactly
+                    // the one the per-type loop would have selected.
+                    self.phase = Phase::Armed;
+                    let exc = excs[(ip - self.point - 1) as usize];
+                    self.point = ip;
+                    self.phase = Phase::Fired;
+                    self.injected = Some((site.method, exc));
+                    vm.trace(TraceEvent::InjectionFire {
+                        method: site.method,
+                        exc,
+                        point: self.point,
+                    });
+                    return Err(Exception::injected(exc, site.method));
+                }
+                _ => self.point += n,
+            }
+        } else {
+            for &exc in excs {
+                self.point += 1;
+                if Some(self.point) == self.injection_point {
+                    self.phase = Phase::Fired;
+                    self.injected = Some((site.method, exc));
+                    vm.trace(TraceEvent::InjectionFire {
+                        method: site.method,
+                        exc,
+                        point: self.point,
+                    });
+                    return Err(Exception::injected(exc, site.method));
+                }
             }
         }
         if !self.observe {
@@ -225,14 +383,17 @@ impl CallHook for InjectionHook {
                 let before = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
                 self.stats.snapshots += 1;
                 self.stats.capture_bytes += before.approx_bytes();
-                Ok(Some(Box::new(CaptureGuard::Eager(before))))
+                Ok(Some(Box::new(before)))
             }
             CaptureMode::Lazy => {
                 // Defer the copy: record writes instead. The layer is
                 // closed (committed) in `after` on both outcomes, so the
-                // heap's net state is untouched either way.
+                // heap's net state is untouched either way. This O(1)
+                // watermark is kept even while disarmed: if the eventual
+                // injection (or an application exception) unwinds through
+                // this frame, its wrapper needs the undo context.
                 vm.heap_mut().push_journal();
-                Ok(Some(Box::new(CaptureGuard::Lazy)))
+                Ok(Some(Box::new(LazyGuard)))
             }
         }
     }
@@ -247,56 +408,32 @@ impl CallHook for InjectionHook {
         let Some(guard) = guard else {
             return outcome;
         };
-        let guard = guard
-            .downcast::<CaptureGuard>()
-            .expect("injection guard is a capture guard");
-        match (*guard, &outcome) {
-            (CaptureGuard::Eager(_), Ok(_)) => {}
-            (CaptureGuard::Eager(before), Err(exc)) => {
-                let after = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
-                self.stats.snapshots += 1;
-                self.stats.capture_bytes += after.approx_bytes();
-                self.push_mark(site, exc, &before, &after);
-            }
-            (CaptureGuard::Lazy, Ok(_)) => {
-                // The call completed: nobody will ever compare against its
-                // before-state. Fold the layer into the enclosing one
-                // (O(1) watermark pop) — no snapshot was ever taken.
-                vm.heap_mut().commit_journal();
-            }
-            (CaptureGuard::Lazy, Err(exc)) => {
-                // Listing 1 lines 10-14, lazily: reconstruct the
-                // before-graph from the undo log, trace the live heap for
-                // the after-graph, compare, mark, then fold the layer.
-                let roots = snapshot_roots(site);
-                let (before, after) = {
-                    let heap = vm.heap();
-                    let asof = heap
-                        .asof_innermost()
-                        .expect("lazy capture layer is open in after()");
-                    (
-                        Snapshot::of_source(&asof, &roots),
-                        Snapshot::of_roots(heap, &roots),
-                    )
-                };
-                self.stats.snapshots += 2;
-                self.stats.capture_bytes += before.approx_bytes() + after.approx_bytes();
-                self.push_mark(site, exc, &before, &after);
-                // The undo log is still open here — the only moment the
-                // surviving write set is cheaply enumerable — so the
-                // minimizer (replay only) runs on the *first* non-atomic
-                // mark, the innermost wrapper on the propagation path.
-                if self.minimize && self.divergence.is_none() {
-                    if let Some(mark) = self.marks.last() {
-                        if !mark.atomic {
-                            let diff = mark.diff.clone().unwrap_or_default();
-                            self.divergence = Some(crate::replay::minimize_divergence(
-                                vm, site, exc.chain, diff, &before, &roots,
-                            ));
-                        }
-                    }
+        // The guard is either the eager before-snapshot or the zero-sized
+        // lazy marker.
+        match guard.downcast::<Snapshot>() {
+            Ok(before) => match &outcome {
+                Ok(_) => {}
+                Err(exc) => {
+                    let after = Snapshot::of_roots(vm.heap(), &snapshot_roots(site));
+                    self.stats.snapshots += 1;
+                    self.stats.capture_bytes += after.approx_bytes();
+                    self.push_mark(site, exc, &before, &after);
                 }
-                vm.heap_mut().commit_journal();
+            },
+            Err(guard) => {
+                let _lazy = guard
+                    .downcast::<LazyGuard>()
+                    .expect("injection guard is a snapshot or a lazy marker");
+                match &outcome {
+                    Ok(_) => {
+                        // The call completed: nobody will ever compare
+                        // against its before-state. Fold the layer into
+                        // the enclosing one (O(1) watermark pop) — no
+                        // snapshot was ever taken.
+                        vm.heap_mut().commit_journal();
+                    }
+                    Err(exc) => self.lazy_compare(vm, site, exc),
+                }
             }
         }
         outcome

@@ -1,0 +1,166 @@
+//! Property tests of the phase-gated fast-forward: a sweep that advances
+//! the point counter arithmetically while disarmed must be bit-for-bit
+//! identical — run records *and* serialized journals — to a sweep walking
+//! Listing 1's literal per-exception-type loop, for every worker count,
+//! both capture modes, and with the flight recorder on or off.
+//!
+//! This is the campaign-level proof obligation behind turning the gate on
+//! by default (and behind `Campaign::replay` keeping it off: since the two
+//! modes agree everywhere, a replay/sweep mismatch indicts the gate).
+
+use atomask_inject::{classify, Campaign, CampaignConfig, CaptureMode, MarkFilter, TraceMode};
+use atomask_mor::{Budget, FnProgram, Profile, RegistryBuilder, Value};
+use proptest::prelude::*;
+
+/// A mutating call tree whose methods carry *different* declared-exception
+/// counts, so the fast-forward arithmetic advances the counter by a
+/// different stride per call site — the case a per-type loop and a single
+/// addition could plausibly disagree on.
+fn striped_tree(depth: u8, fanout: u8) -> FnProgram {
+    FnProgram::new(
+        "stripedTree",
+        || {
+            let mut rb = RegistryBuilder::new(Profile::java());
+            rb.class("T", |c| {
+                c.field("work", Value::Int(0));
+                c.field("audit", Value::Int(0));
+                c.method("spin", |ctx, this, args| {
+                    let level = args[0].as_int().unwrap_or(0);
+                    if level > 0 {
+                        let fanout = ctx.get_int(this, "fanout");
+                        for _ in 0..fanout {
+                            ctx.call(this, "bump", &[])?;
+                            ctx.call(this, "spin", &[Value::Int(level - 1)])?;
+                        }
+                    }
+                    let w = ctx.get_int(this, "work");
+                    ctx.set(this, "work", Value::Int(w + 1));
+                    Ok(Value::Null)
+                })
+                .throws("IOError")
+                .throws("ParseError");
+                // Partial-state window: `audit` is updated after a nested
+                // call, so mid-call injections mark `bump` non-atomic.
+                c.method("bump", |ctx, this, _| {
+                    let a = ctx.get_int(this, "audit");
+                    ctx.call(this, "leaf", &[])?;
+                    ctx.set(this, "audit", Value::Int(a + 1));
+                    Ok(Value::Null)
+                })
+                .throws("IOError");
+                c.method("leaf", |ctx, this, _| {
+                    let w = ctx.get_int(this, "work");
+                    ctx.set(this, "work", Value::Int(w ^ 5));
+                    Ok(Value::Null)
+                });
+                c.field("fanout", Value::Int(0));
+            });
+            rb.build()
+        },
+        move |vm| {
+            let t = vm.construct("T", &[])?;
+            vm.root(t);
+            vm.heap_mut()
+                .set_field(t, "fanout", Value::Int(fanout as i64))
+                .expect("fanout field exists");
+            vm.call(t, "spin", &[Value::Int(depth as i64)])
+        },
+    )
+}
+
+fn base_config(workers: usize, capture: CaptureMode, trace: TraceMode) -> CampaignConfig {
+    CampaignConfig {
+        budget: Budget::fuel(20_000),
+        workers,
+        capture,
+        trace,
+        ..CampaignConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The gate equivalence itself: identical runs, identical serialized
+    /// journals, identical classification — across worker counts and both
+    /// capture modes, with the recorder pinned off so `ATOMASK_TRACE`
+    /// cannot skew either side.
+    #[test]
+    fn fast_forward_sweep_is_bit_identical(
+        depth in 0u8..3,
+        fanout in 1u8..3,
+        workers in 1usize..4,
+        eager in any::<bool>(),
+    ) {
+        let capture = if eager { CaptureMode::Eager } else { CaptureMode::Lazy };
+        let p = striped_tree(depth, fanout);
+        let gated = Campaign::new(&p)
+            .config(base_config(workers, capture, TraceMode::Off))
+            .run();
+        let reference = Campaign::new(&p)
+            .fast_forward(false)
+            .config(base_config(workers, capture, TraceMode::Off))
+            .run();
+        prop_assert_eq!(&gated.runs, &reference.runs);
+        prop_assert_eq!(gated.total_points, reference.total_points);
+        prop_assert_eq!(&gated.baseline_calls, &reference.baseline_calls);
+        prop_assert_eq!(
+            gated.journal().serialize(),
+            reference.journal().serialize()
+        );
+        let cg = classify(&gated, &MarkFilter::default());
+        let cr = classify(&reference, &MarkFilter::default());
+        prop_assert_eq!(cg.method_counts, cr.method_counts);
+    }
+
+    /// With a live ring sink the equivalence extends to the flight
+    /// recorder: the disarmed prefix emits no per-call events in either
+    /// mode, so per-run event counts match exactly.
+    #[test]
+    fn fast_forward_preserves_trace_event_counts(
+        depth in 1u8..3,
+        fanout in 1u8..3,
+    ) {
+        let p = striped_tree(depth, fanout);
+        let trace = TraceMode::Ring(4096);
+        let gated = Campaign::new(&p)
+            .config(base_config(1, CaptureMode::Lazy, trace))
+            .run();
+        let reference = Campaign::new(&p)
+            .fast_forward(false)
+            .config(base_config(1, CaptureMode::Lazy, trace))
+            .run();
+        prop_assert_eq!(&gated.runs, &reference.runs);
+        let gated_events: Vec<u64> = gated.runs.iter().map(|r| r.trace_events).collect();
+        let ref_events: Vec<u64> = reference.runs.iter().map(|r| r.trace_events).collect();
+        prop_assert_eq!(gated_events, ref_events);
+    }
+}
+
+/// The striped tree actually exercises what this suite claims to test:
+/// non-atomic verdicts exist, and at least two distinct per-method strides
+/// are in play (2 vs. 3 vs. 4 injectable exceptions).
+#[test]
+fn striped_tree_is_a_meaningful_witness() {
+    let p = striped_tree(2, 2);
+    let result = Campaign::new(&p)
+        .config(base_config(1, CaptureMode::Lazy, TraceMode::Off))
+        .run();
+    assert!(result.total_points > 0);
+    assert!(
+        result
+            .runs
+            .iter()
+            .any(|r| r.marks.iter().any(|m| !m.atomic)),
+        "the audit-after-call window must yield non-atomic marks"
+    );
+    let strides: std::collections::HashSet<usize> = result
+        .registry
+        .method_ids()
+        .map(|m| result.registry.injectable_exceptions(m).len())
+        .collect();
+    assert!(
+        strides.len() >= 3,
+        "methods must differ in injectable-exception count, got {strides:?}"
+    );
+}

@@ -2,9 +2,9 @@
 
 use crate::ctx::Ctx;
 use crate::exception::MethodResult;
+use crate::fx::FxHashMap;
 use crate::ids::{ClassId, ExcId, MethodId, ObjId};
 use crate::value::Value;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -77,19 +77,32 @@ pub struct ClassDef {
     pub is_core: bool,
     /// Id assigned at registry build time.
     pub id: ClassId,
-    pub(crate) field_index: HashMap<String, usize>,
-    pub(crate) method_index: HashMap<String, usize>,
+    pub(crate) field_index: FxHashMap<String, usize>,
+    pub(crate) method_index: FxHashMap<String, usize>,
 }
+
+/// Below this member count, name lookup scans the definition vector
+/// directly: for the short schemas typical of guest classes, a handful of
+/// string compares beats hashing the name and probing a table.
+const LINEAR_SCAN_MAX: usize = 8;
 
 impl ClassDef {
     /// Index of a field by name.
     pub fn field_slot(&self, name: &str) -> Option<usize> {
-        self.field_index.get(name).copied()
+        if self.fields.len() <= LINEAR_SCAN_MAX {
+            self.fields.iter().position(|f| f.name == name)
+        } else {
+            self.field_index.get(name).copied()
+        }
     }
 
     /// Index of a method by name.
     pub fn method_slot(&self, name: &str) -> Option<usize> {
-        self.method_index.get(name).copied()
+        if self.methods.len() <= LINEAR_SCAN_MAX {
+            self.methods.iter().position(|m| m.name == name)
+        } else {
+            self.method_index.get(name).copied()
+        }
     }
 
     /// The constructor, if one was defined.
@@ -156,8 +169,8 @@ impl ClassBuilder {
                 methods: Vec::new(),
                 is_core: false,
                 id: ClassId(u32::MAX),
-                field_index: HashMap::new(),
-                method_index: HashMap::new(),
+                field_index: FxHashMap::default(),
+                method_index: FxHashMap::default(),
             },
         }
     }

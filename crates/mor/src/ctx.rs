@@ -75,12 +75,14 @@ impl<'vm> Ctx<'vm> {
             .unwrap_or_else(|| panic!("field `{name}` of {obj} is not a Bool"))
     }
 
-    /// Reads a string field.
+    /// Reads a string field. The returned handle shares the field's
+    /// storage (strings are immutable basic data), so reading is free of
+    /// deep copies.
     ///
     /// # Panics
     ///
     /// Panics if the field is missing or not a [`Value::Str`].
-    pub fn get_str(&mut self, obj: ObjId, name: &str) -> String {
+    pub fn get_str(&mut self, obj: ObjId, name: &str) -> std::rc::Rc<str> {
         match self.get(obj, name) {
             Value::Str(s) => s,
             _ => panic!("field `{name}` of {obj} is not a Str"),
@@ -197,7 +199,7 @@ mod tests {
         rb.exception("AppError");
         rb.class("Box", |c| {
             c.field("item", Value::Null);
-            c.field("label", Value::Str(String::new()));
+            c.field("label", Value::from(""));
             c.field("count", Value::Int(0));
             c.field("open", Value::Bool(false));
             c.method("poke", |_, _, _| Ok(Value::Int(7)));
@@ -231,7 +233,7 @@ mod tests {
         v.root(b);
         assert_eq!(v.heap().field(b, "count"), Some(Value::Int(0)));
         assert_eq!(v.heap().field(b, "open"), Some(Value::Bool(false)));
-        assert_eq!(v.heap().field(b, "label"), Some(Value::Str(String::new())));
+        assert_eq!(v.heap().field(b, "label"), Some(Value::from("")));
     }
 
     #[test]
@@ -274,7 +276,7 @@ mod tests {
     fn get_and_set_round_trip_through_body() {
         let (mut vm, t) = with_body(|ctx, this| {
             ctx.set(this, "item", Value::Str("hello".into()));
-            assert_eq!(ctx.get_str(this, "item"), "hello");
+            assert_eq!(&*ctx.get_str(this, "item"), "hello");
             ctx.set(this, "item", Value::Int(3));
             assert_eq!(ctx.get_int(this, "item"), 3);
             ctx.set(this, "item", Value::Bool(true));

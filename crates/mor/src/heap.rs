@@ -17,7 +17,7 @@ use crate::registry::Registry;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::value::Value;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// A heap object: its class and its field values in schema order.
@@ -76,16 +76,39 @@ struct JournalLog {
 }
 
 /// The managed heap.
+///
+/// Object storage is a dense vector indexed by raw id (ids are allocated
+/// contiguously from 1 and never reused), so field reads and writes on the
+/// sweep hot path are O(1) array accesses rather than tree lookups. A
+/// released object leaves a `None` slot behind — its identity stays
+/// reserved for checkpoint resurrection.
 #[derive(Debug)]
 pub struct Heap {
     registry: Rc<Registry>,
-    objects: BTreeMap<ObjId, Object>,
-    refcounts: HashMap<ObjId, usize>,
-    roots: HashMap<ObjId, usize>,
-    next_id: u64,
+    /// Slot `i` holds the object with raw id `i + 1`, or `None` once it
+    /// has been released.
+    objects: Vec<Option<Object>>,
+    /// Heap-reference counts (roots excluded), parallel to `objects`.
+    refcounts: Vec<usize>,
+    /// Root-reference counts, parallel to `objects` (the dispatch hot
+    /// path roots/unroots the receiver and by-ref arguments on every
+    /// call, so this is an array index, not a hash lookup).
+    root_counts: Vec<usize>,
+    /// Number of `Some` entries in `objects`.
+    live: usize,
     stats: HeapStats,
     journal: JournalLog,
+    /// Bumped by every operation that can change the object graph; see
+    /// [`Heap::mutation_epoch`].
+    mutations: u64,
     tracer: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+/// Storage index of an id: ids are dense from 1, so slot = raw − 1.
+/// `None` for the (unallocatable) raw id 0.
+#[inline]
+fn slot_index(id: ObjId) -> Option<usize> {
+    (id.into_raw() as usize).checked_sub(1)
 }
 
 impl Heap {
@@ -93,14 +116,44 @@ impl Heap {
     pub fn new(registry: Rc<Registry>) -> Self {
         Heap {
             registry,
-            objects: BTreeMap::new(),
-            refcounts: HashMap::new(),
-            roots: HashMap::new(),
-            next_id: 1,
+            objects: Vec::new(),
+            refcounts: Vec::new(),
+            root_counts: Vec::new(),
+            live: 0,
             stats: HeapStats::default(),
             journal: JournalLog::default(),
+            mutations: 0,
             tracer: None,
         }
+    }
+
+    /// A counter bumped by every operation that can change the object
+    /// graph: field writes, allocations, rollbacks, restores, probes, and
+    /// releases. Consumers memoizing derived graph data (e.g. structural
+    /// fingerprints) compare epochs to detect staleness; an unchanged
+    /// epoch guarantees the graph is byte-identical to when the memo was
+    /// built.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Resets the heap to its freshly-constructed state — all objects,
+    /// roots, reference counts, journal layers, and stats are dropped and
+    /// id allocation restarts at 1 — while retaining the storage
+    /// capacity of the previous run. This is the reusable-universe reset:
+    /// a recycled VM calls it between injection attempts instead of
+    /// rebuilding a heap, so per-attempt cost is O(previous live set)
+    /// drops with no fresh allocation.
+    pub fn epoch_reset(&mut self) {
+        self.objects.clear();
+        self.refcounts.clear();
+        self.root_counts.clear();
+        self.live = 0;
+        self.stats = HeapStats::default();
+        self.journal.writes.clear();
+        self.journal.allocs.clear();
+        self.journal.layers.clear();
+        self.mutations += 1;
     }
 
     /// Installs (or removes) the trace sink heap events are recorded on.
@@ -129,22 +182,22 @@ impl Heap {
     /// (normally the VM) must root it before anything can trigger
     /// reclamation.
     pub fn alloc(&mut self, class: &ClassDef) -> ObjId {
-        let id = ObjId::from_raw(self.next_id);
-        self.next_id += 1;
+        let id = ObjId::from_raw(self.objects.len() as u64 + 1);
         let fields = class.default_fields();
         for v in &fields {
             if let Some(target) = v.as_ref_id() {
                 self.inc_ref(target);
             }
         }
-        self.objects.insert(
-            id,
-            Object {
-                class: class.id,
-                fields,
-            },
-        );
+        self.objects.push(Some(Object {
+            class: class.id,
+            fields,
+        }));
+        self.refcounts.push(0);
+        self.root_counts.push(0);
+        self.live += 1;
         self.stats.allocated += 1;
+        self.mutations += 1;
         if !self.journal.layers.is_empty() {
             self.journal.allocs.push(id);
         }
@@ -157,27 +210,30 @@ impl Heap {
 
     /// Returns the object stored at `id`, if live.
     pub fn get(&self, id: ObjId) -> Option<&Object> {
-        self.objects.get(&id)
+        self.objects.get(slot_index(id)?)?.as_ref()
     }
 
     /// Returns `true` iff `id` denotes a live object.
     pub fn is_live(&self, id: ObjId) -> bool {
-        self.objects.contains_key(&id)
+        self.get(id).is_some()
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.live
     }
 
     /// Returns `true` iff no objects are live.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live == 0
     }
 
     /// Iterates over all live objects in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Object)> {
-        self.objects.iter().map(|(id, o)| (*id, o))
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| Some((ObjId::from_raw(i as u64 + 1), o.as_ref()?)))
     }
 
     /// Heap activity counters.
@@ -189,7 +245,7 @@ impl Heap {
     ///
     /// Returns `None` when the object is dead or the field does not exist.
     pub fn field(&self, id: ObjId, name: &str) -> Option<Value> {
-        let obj = self.objects.get(&id)?;
+        let obj = self.get(id)?;
         let class = self.registry.class(obj.class);
         let slot = class.field_slot(name)?;
         Some(obj.fields[slot].clone())
@@ -197,7 +253,7 @@ impl Heap {
 
     /// Reads a field by slot index.
     pub fn field_by_slot(&self, id: ObjId, slot: usize) -> Option<Value> {
-        self.objects.get(&id)?.fields.get(slot).cloned()
+        self.get(id)?.fields.get(slot).cloned()
     }
 
     /// Writes a field by name, maintaining reference counts.
@@ -206,7 +262,7 @@ impl Heap {
     ///
     /// Returns [`MorError::DeadObject`] or [`MorError::UnknownField`].
     pub fn set_field(&mut self, id: ObjId, name: &str, value: Value) -> Result<(), MorError> {
-        let class_id = self.objects.get(&id).ok_or(MorError::DeadObject(id))?.class;
+        let class_id = self.get(id).ok_or(MorError::DeadObject(id))?.class;
         let class = self.registry.class(class_id);
         let slot = class
             .field_slot(name)
@@ -217,12 +273,16 @@ impl Heap {
         if let Some(target) = value.as_ref_id() {
             self.inc_ref(target);
         }
-        let obj = self.objects.get_mut(&id).expect("checked live above");
+        let obj = self.get_slot_mut(id).expect("checked live above");
         let old = std::mem::replace(&mut obj.fields[slot], value);
+        self.mutations += 1;
+        // The undo record takes ownership of the displaced value — cloning
+        // it here would put a deep `String` copy on every journaled write.
+        let old_ref = old.as_ref_id();
         if !self.journal.layers.is_empty() {
-            self.journal.writes.push((id, slot, old.clone()));
+            self.journal.writes.push((id, slot, old));
         }
-        if let Some(target) = old.as_ref_id() {
+        if let Some(target) = old_ref {
             self.dec_ref(target);
         }
         self.emit(|| TraceEvent::HeapWrite {
@@ -236,28 +296,33 @@ impl Heap {
     /// Adds a root reference to `id` (idempotent counting: every `root` must
     /// be paired with an [`Heap::unroot`]).
     pub fn root(&mut self, id: ObjId) {
-        *self.roots.entry(id).or_insert(0) += 1;
+        if let Some(n) = slot_index(id).and_then(|i| self.root_counts.get_mut(i)) {
+            *n += 1;
+        }
     }
 
     /// Removes one root reference from `id`.
     pub fn unroot(&mut self, id: ObjId) {
-        if let Some(n) = self.roots.get_mut(&id) {
-            *n -= 1;
-            if *n == 0 {
-                self.roots.remove(&id);
-            }
+        if let Some(n) = slot_index(id).and_then(|i| self.root_counts.get_mut(i)) {
+            *n = n.saturating_sub(1);
         }
     }
 
     /// Number of root references on `id`.
     pub fn root_count(&self, id: ObjId) -> usize {
-        self.roots.get(&id).copied().unwrap_or(0)
+        slot_index(id)
+            .and_then(|i| self.root_counts.get(i))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Current reference count of `id` (heap references only, roots not
     /// included).
     pub fn refcount(&self, id: ObjId) -> usize {
-        self.refcounts.get(&id).copied().unwrap_or(0)
+        slot_index(id)
+            .and_then(|i| self.refcounts.get(i))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Releases every unrooted object whose reference count is zero,
@@ -268,18 +333,19 @@ impl Heap {
     /// limitation 4); cyclic garbage survives and needs [`Heap::collect`].
     pub fn reclaim(&mut self) -> usize {
         let mut worklist: Vec<ObjId> = self
-            .objects
-            .keys()
-            .filter(|id| self.refcount(**id) == 0 && self.root_count(**id) == 0)
-            .copied()
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| self.refcount(*id) == 0 && self.root_count(*id) == 0)
             .collect();
         let mut freed = 0;
         while let Some(id) = worklist.pop() {
-            let Some(obj) = self.objects.remove(&id) else {
+            let idx = slot_index(id).expect("worklist ids are allocated");
+            let Some(obj) = self.objects[idx].take() else {
                 continue;
             };
             freed += 1;
-            self.refcounts.remove(&id);
+            self.refcounts[idx] = 0;
+            self.live -= 1;
             for v in obj.fields {
                 if let Some(target) = v.as_ref_id() {
                     self.dec_ref(target);
@@ -293,6 +359,9 @@ impl Heap {
             }
         }
         self.stats.reclaimed += freed as u64;
+        if freed > 0 {
+            self.mutations += 1;
+        }
         freed as usize
     }
 
@@ -302,13 +371,19 @@ impl Heap {
     /// Only call at points where no unrooted object ids are held by the
     /// embedding program (the VM guarantees this between top-level calls).
     pub fn collect(&mut self) -> usize {
-        let mut marked: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
-        let mut stack: Vec<ObjId> = self.roots.keys().copied().collect();
+        let mut marked: HashSet<ObjId> = HashSet::new();
+        let mut stack: Vec<ObjId> = self
+            .root_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, _)| ObjId::from_raw(i as u64 + 1))
+            .collect();
         while let Some(id) = stack.pop() {
             if !marked.insert(id) {
                 continue;
             }
-            if let Some(obj) = self.objects.get(&id) {
+            if let Some(obj) = self.get(id) {
                 for v in &obj.fields {
                     if let Some(target) = v.as_ref_id() {
                         if !marked.contains(&target) {
@@ -319,18 +394,20 @@ impl Heap {
             }
         }
         let dead: Vec<ObjId> = self
-            .objects
-            .keys()
+            .iter()
+            .map(|(id, _)| id)
             .filter(|id| !marked.contains(id))
-            .copied()
             .collect();
         let freed = dead.len();
         for id in dead {
-            self.objects.remove(&id);
-            self.refcounts.remove(&id);
+            let idx = slot_index(id).expect("dead ids are allocated");
+            self.objects[idx] = None;
+            self.refcounts[idx] = 0;
+            self.live -= 1;
         }
         if freed > 0 {
             self.recompute_refcounts();
+            self.mutations += 1;
         }
         self.stats.collected += freed as u64;
         freed
@@ -340,13 +417,14 @@ impl Heap {
     /// reference-count maintenance. Restore-only API: callers must follow up
     /// with [`Heap::recompute_refcounts`].
     pub fn restore_fields(&mut self, id: ObjId, fields: Vec<Value>) -> Result<(), MorError> {
-        let obj = self.objects.get_mut(&id).ok_or(MorError::DeadObject(id))?;
+        let obj = self.get_slot_mut(id).ok_or(MorError::DeadObject(id))?;
         assert_eq!(
             obj.fields.len(),
             fields.len(),
             "restore_fields: schema size mismatch for {id}"
         );
         obj.fields = fields;
+        self.mutations += 1;
         Ok(())
     }
 
@@ -358,23 +436,26 @@ impl Heap {
     ///
     /// Panics if `id` is still live or was never allocated.
     pub fn resurrect(&mut self, id: ObjId, object: Object) {
-        assert!(!self.objects.contains_key(&id), "resurrect: {id} is live");
-        assert!(
-            id.into_raw() < self.next_id,
-            "resurrect: {id} was never allocated"
-        );
-        self.objects.insert(id, object);
+        assert!(!self.is_live(id), "resurrect: {id} is live");
+        let idx = slot_index(id).filter(|i| *i < self.objects.len());
+        let idx = idx.unwrap_or_else(|| panic!("resurrect: {id} was never allocated"));
+        self.objects[idx] = Some(object);
+        self.live += 1;
+        self.mutations += 1;
     }
 
     /// Rebuilds every reference count by scanning the heap. Used after
     /// checkpoint restore, which bypasses incremental maintenance.
     pub fn recompute_refcounts(&mut self) {
-        self.refcounts.clear();
-        let mut counts: HashMap<ObjId, usize> = HashMap::new();
-        for obj in self.objects.values() {
+        self.refcounts.iter_mut().for_each(|n| *n = 0);
+        self.refcounts.resize(self.objects.len(), 0);
+        let mut counts: Vec<usize> = std::mem::take(&mut self.refcounts);
+        for obj in self.objects.iter().flatten() {
             for v in &obj.fields {
                 if let Some(target) = v.as_ref_id() {
-                    *counts.entry(target).or_insert(0) += 1;
+                    if let Some(i) = slot_index(target) {
+                        counts[i] += 1;
+                    }
                 }
             }
         }
@@ -460,6 +541,9 @@ impl Heap {
         let rollback: Vec<(ObjId, usize, Value)> =
             self.journal.writes.drain(writes_mark..).collect();
         self.journal.allocs.truncate(allocs_mark);
+        if undone > 0 {
+            self.mutations += 1;
+        }
         for (id, slot, old) in rollback.into_iter().rev() {
             // Bypass journaling (the net effect must not be re-recorded),
             // but maintain reference counts.
@@ -467,8 +551,7 @@ impl Heap {
                 self.inc_ref(target);
             }
             let obj = self
-                .objects
-                .get_mut(&id)
+                .get_slot_mut(id)
                 .expect("journaled object cannot die while its layer is open");
             let class = obj.class;
             let current = std::mem::replace(&mut obj.fields[slot], old);
@@ -519,7 +602,7 @@ impl Heap {
         let Some(&(writes_mark, _)) = self.journal.layers.last() else {
             return Vec::new();
         };
-        let mut seen: std::collections::HashSet<(ObjId, usize)> = std::collections::HashSet::new();
+        let mut seen: HashSet<(ObjId, usize)> = HashSet::new();
         let mut out = Vec::new();
         for (id, slot, old) in &self.journal.writes[writes_mark..] {
             if seen.insert((*id, *slot)) {
@@ -527,6 +610,61 @@ impl Heap {
             }
         }
         out
+    }
+
+    /// Returns `true` iff every heap cell written under the innermost open
+    /// layer currently holds **exactly** its layer-open value (bit-level
+    /// float comparison, matching canonical-trace equality), i.e. the
+    /// layer's net effect on pre-existing objects is nil. `O(dirty)`.
+    ///
+    /// When this holds, the object graph reachable from any root that
+    /// existed at layer-open time is structurally identical to its
+    /// layer-open state, so a before/after comparison can conclude
+    /// *atomic* without walking the graph at all. Objects **allocated**
+    /// under the layer cannot break this: layer-open field values can only
+    /// reference objects that already existed (ids are monotonic and never
+    /// reused), so if every dirty cell reads its layer-open value, no cell
+    /// reachable from a pre-existing root references a layer-born object.
+    /// Reclamation never runs while a layer is open, so no pre-existing
+    /// object can have vanished either. Returns `true` when no layer is
+    /// open (an empty overlay changes nothing).
+    pub fn journal_innermost_reverted(&self) -> bool {
+        let Some(&(writes_mark, _)) = self.journal.layers.last() else {
+            return true;
+        };
+        let mut seen: HashSet<(ObjId, usize)> = HashSet::new();
+        for (id, slot, open_value) in &self.journal.writes[writes_mark..] {
+            // First-write-wins: only the first recorded `old` per cell is
+            // the layer-open value; later entries are intra-layer noise.
+            if !seen.insert((*id, *slot)) {
+                continue;
+            }
+            let Some(obj) = self.get(*id) else {
+                return false;
+            };
+            if !obj.fields[*slot].bit_eq(open_value) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The set of objects the innermost open layer touched: every object
+    /// with a journaled field write plus every object allocated under the
+    /// layer. Objects **not** in this set are bit-identical to their
+    /// layer-open state, so memoized per-object data (structural
+    /// fingerprints) computed against the live heap is still valid for the
+    /// layer-open view. Empty when no layer is open.
+    pub fn journal_innermost_touched(&self) -> HashSet<ObjId> {
+        let Some(&(writes_mark, allocs_mark)) = self.journal.layers.last() else {
+            return HashSet::new();
+        };
+        let mut touched: HashSet<ObjId> = self.journal.writes[writes_mark..]
+            .iter()
+            .map(|(id, _, _)| *id)
+            .collect();
+        touched.extend(self.journal.allocs[allocs_mark..].iter().copied());
+        touched
     }
 
     /// Overwrites one field slot **without** reference-count, journal, or
@@ -540,21 +678,31 @@ impl Heap {
     /// errors — probes only touch cells the journal recorded).
     pub fn probe_set_slot(&mut self, id: ObjId, slot: usize, value: Value) {
         let obj = self
-            .objects
-            .get_mut(&id)
+            .get_slot_mut(id)
             .unwrap_or_else(|| panic!("probe_set_slot: dead object {id}"));
         obj.fields[slot] = value;
+        self.mutations += 1;
     }
 
+    #[inline]
+    fn get_slot_mut(&mut self, id: ObjId) -> Option<&mut Object> {
+        self.objects.get_mut(slot_index(id)?)?.as_mut()
+    }
+
+    #[inline]
     fn inc_ref(&mut self, id: ObjId) {
-        *self.refcounts.entry(id).or_insert(0) += 1;
+        if let Some(i) = slot_index(id) {
+            if let Some(n) = self.refcounts.get_mut(i) {
+                *n += 1;
+            }
+        }
     }
 
+    #[inline]
     fn dec_ref(&mut self, id: ObjId) {
-        if let Some(n) = self.refcounts.get_mut(&id) {
-            *n = n.saturating_sub(1);
-            if *n == 0 {
-                self.refcounts.remove(&id);
+        if let Some(i) = slot_index(id) {
+            if let Some(n) = self.refcounts.get_mut(i) {
+                *n = n.saturating_sub(1);
             }
         }
     }
@@ -857,6 +1005,105 @@ mod tests {
         );
         h.commit_journal();
         assert_eq!(h.journal_len(), (0, 0));
+    }
+
+    #[test]
+    fn epoch_reset_restores_pristine_state_and_id_sequence() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(7)).unwrap();
+        h.epoch_reset();
+        assert!(h.is_empty());
+        assert_eq!(h.journal_depth(), 0);
+        assert_eq!(h.root_count(a), 0);
+        assert_eq!(h.stats(), HeapStats::default());
+        // Id allocation restarts at 1, exactly like a fresh heap.
+        let b = alloc_node(&mut h);
+        assert_eq!(b.into_raw(), 1);
+        assert_eq!(h.field(b, "value"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn mutation_epoch_tracks_graph_changes() {
+        let mut h = heap();
+        let e0 = h.mutation_epoch();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        let e1 = h.mutation_epoch();
+        assert_ne!(e0, e1, "alloc bumps the epoch");
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        let e2 = h.mutation_epoch();
+        assert_ne!(e1, e2, "writes bump the epoch");
+        assert_eq!(
+            h.field(a, "value"),
+            Some(Value::Int(1)),
+            "reads do not bump"
+        );
+        assert_eq!(h.mutation_epoch(), e2);
+        h.push_journal();
+        assert_eq!(h.mutation_epoch(), e2, "opening a layer is not a mutation");
+        h.set_field(a, "value", Value::Int(2)).unwrap();
+        let e3 = h.mutation_epoch();
+        h.abort_journal();
+        assert_ne!(h.mutation_epoch(), e3, "rollback bumps the epoch");
+    }
+
+    #[test]
+    fn journal_innermost_reverted_detects_nil_net_effect() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        h.root(a);
+        assert!(h.journal_innermost_reverted(), "no layer open");
+        h.push_journal();
+        assert!(h.journal_innermost_reverted(), "no writes yet");
+        h.set_field(a, "value", Value::Int(5)).unwrap();
+        assert!(!h.journal_innermost_reverted());
+        h.set_field(a, "value", Value::Int(0)).unwrap();
+        assert!(
+            h.journal_innermost_reverted(),
+            "back to the layer-open value"
+        );
+        h.commit_journal();
+    }
+
+    #[test]
+    fn journal_innermost_reverted_is_float_bit_exact() {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("F", |c| {
+            c.field("x", Value::Float(0.0));
+        });
+        let mut h = Heap::new(Rc::new(rb.build()));
+        let class = h.registry().class_by_name("F").unwrap().clone();
+        let a = h.alloc(&class);
+        h.root(a);
+        h.push_journal();
+        h.set_field(a, "x", Value::Float(-0.0)).unwrap();
+        // -0.0 == 0.0 under PartialEq, but the canonical trace compares
+        // float bits — the fast path must agree with the trace.
+        assert!(!h.journal_innermost_reverted());
+        h.set_field(a, "x", Value::Float(0.0)).unwrap();
+        assert!(h.journal_innermost_reverted());
+        h.commit_journal();
+    }
+
+    #[test]
+    fn journal_innermost_touched_is_writes_plus_births() {
+        let mut h = heap();
+        let a = alloc_node(&mut h);
+        let b = alloc_node(&mut h);
+        h.root(a);
+        h.root(b);
+        assert!(h.journal_innermost_touched().is_empty(), "no layer open");
+        h.push_journal();
+        h.set_field(a, "value", Value::Int(1)).unwrap();
+        let c = alloc_node(&mut h);
+        let touched = h.journal_innermost_touched();
+        assert!(touched.contains(&a), "written object");
+        assert!(touched.contains(&c), "layer-born object");
+        assert!(!touched.contains(&b), "untouched object stays clean");
+        h.commit_journal();
     }
 
     #[test]

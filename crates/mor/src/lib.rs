@@ -70,6 +70,7 @@ mod class;
 mod ctx;
 mod error;
 mod exception;
+mod fx;
 mod heap;
 mod hook;
 mod ids;

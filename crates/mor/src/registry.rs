@@ -7,21 +7,25 @@
 
 use crate::class::{ClassBuilder, ClassDef, MethodDef};
 use crate::exception::ExceptionTable;
+use crate::fx::FxHashMap;
 use crate::ids::{ClassId, ExcId, MethodId};
 use crate::profile::Profile;
-use std::collections::HashMap;
 
 /// An immutable program description: classes, methods, exception types and
 /// the language profile.
 #[derive(Debug)]
 pub struct Registry {
     classes: Vec<ClassDef>,
-    by_name: HashMap<String, ClassId>,
+    by_name: FxHashMap<String, ClassId>,
     exceptions: ExceptionTable,
     profile: Profile,
     runtime_exc: Vec<ExcId>,
     /// gid -> (class, method slot)
     methods: Vec<(ClassId, usize)>,
+    /// gid -> precomputed injectable exception set (Listing 1's
+    /// `E_1 .. E_n`). Built once at `build()` time so the sweep hot path
+    /// never allocates or dedupes per call.
+    injectable: Vec<Vec<ExcId>>,
 }
 
 impl Registry {
@@ -40,8 +44,12 @@ impl Registry {
         &self.runtime_exc
     }
 
-    /// Looks up a class by name.
+    /// Looks up a class by name. Small registries (every evaluation app)
+    /// are scanned directly — cheaper than hashing the name.
     pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
+        if self.classes.len() <= 8 {
+            return self.classes.iter().find(|c| c.name == name);
+        }
         self.by_name
             .get(name)
             .map(|id| &self.classes[id.0 as usize])
@@ -111,23 +119,12 @@ impl Registry {
     /// * the method is annotated [`MethodDef::never_throws`] (paper §4.3), or
     /// * the class is core and the profile cannot instrument core classes
     ///   (paper §5.2 limitation).
-    pub fn injectable_exceptions(&self, id: MethodId) -> Vec<ExcId> {
-        let (cid, slot) = self.methods[id.index()];
-        let class = &self.classes[cid.0 as usize];
-        let method = &class.methods[slot];
-        if method.never_throws {
-            return Vec::new();
-        }
-        if class.is_core && !self.profile.instrument_core {
-            return Vec::new();
-        }
-        let mut out = method.declared.clone();
-        for &e in &self.runtime_exc {
-            if !out.contains(&e) {
-                out.push(e);
-            }
-        }
-        out
+    ///
+    /// The set is precomputed per method at build time and borrowed here,
+    /// so the injection wrapper's hot path neither allocates nor dedupes —
+    /// counting a disarmed call's points is `injectable_exceptions(id).len()`.
+    pub fn injectable_exceptions(&self, id: MethodId) -> &[ExcId] {
+        &self.injectable[id.index()]
     }
 
     /// Whether calls to `id` are instrumentable at all (wrappers can be
@@ -153,7 +150,7 @@ impl Registry {
 #[derive(Debug)]
 pub struct RegistryBuilder {
     classes: Vec<ClassDef>,
-    by_name: HashMap<String, ClassId>,
+    by_name: FxHashMap<String, ClassId>,
     exceptions: ExceptionTable,
     profile: Profile,
 }
@@ -168,7 +165,7 @@ impl RegistryBuilder {
         }
         RegistryBuilder {
             classes: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: FxHashMap::default(),
             exceptions,
             profile,
         }
@@ -215,11 +212,31 @@ impl RegistryBuilder {
                 }
             }
         }
-        let runtime_exc = self
+        let runtime_exc: Vec<ExcId> = self
             .profile
             .runtime_exceptions
             .iter()
             .map(|n| self.exceptions.intern(n))
+            .collect();
+        // Precompute each method's injectable exception set (declared
+        // first, then the profile's runtime exceptions, deduped), so the
+        // per-call lookup is a slice borrow.
+        let injectable: Vec<Vec<ExcId>> = methods
+            .iter()
+            .map(|&(cid, slot)| {
+                let class = &self.classes[cid.0 as usize];
+                let method = &class.methods[slot];
+                if method.never_throws || (class.is_core && !self.profile.instrument_core) {
+                    return Vec::new();
+                }
+                let mut out = method.declared.clone();
+                for &e in &runtime_exc {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+                out
+            })
             .collect();
         Registry {
             classes: self.classes,
@@ -228,6 +245,7 @@ impl RegistryBuilder {
             profile: self.profile,
             runtime_exc,
             methods,
+            injectable,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::ids::ObjId;
 use std::fmt;
+use std::rc::Rc;
 
 /// A runtime value — the content of an object field, a method argument, or a
 /// method return value.
@@ -27,8 +28,11 @@ pub enum Value {
     Bool(bool),
     /// An immutable string (a basic data instance, not a heap object —
     /// mirroring the paper's Java limitation that core classes like
-    /// `String` are not instrumented).
-    Str(String),
+    /// `String` are not instrumented). Shared rather than owned: the
+    /// sweep engine clones every field read and journals every displaced
+    /// write, and a reference-count bump keeps those paths free of deep
+    /// copies.
+    Str(Rc<str>),
     /// A reference to a heap object.
     Ref(ObjId),
 }
@@ -141,12 +145,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Rc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Rc::from(v))
+    }
+}
+
+impl From<Rc<str>> for Value {
+    fn from(v: Rc<str>) -> Self {
         Value::Str(v)
     }
 }

@@ -56,8 +56,11 @@ pub struct Vm {
     hook: Option<Rc<RefCell<dyn CallHook>>>,
     /// Frame-local root sets: everything a method body can name stays
     /// rooted while its frame is live, so deferred reclamation can never
-    /// free an object the body still holds an id to.
-    frames: Vec<Vec<ObjId>>,
+    /// free an object the body still holds an id to. Stored as one flat
+    /// arena (`frame_roots`) with per-frame start offsets (`frame_starts`)
+    /// so pushing and popping a frame never allocates.
+    frame_roots: Vec<ObjId>,
+    frame_starts: Vec<usize>,
     stats: CallStats,
     call_seq: u64,
     depth: usize,
@@ -91,7 +94,8 @@ impl Vm {
             heap: Heap::new(registry.clone()),
             registry,
             hook: None,
-            frames: Vec::new(),
+            frame_roots: Vec::new(),
+            frame_starts: Vec::new(),
             stats: CallStats::new(methods),
             call_seq: 0,
             depth: 0,
@@ -137,6 +141,32 @@ impl Vm {
     /// Installs a fresh fuel [`Budget`], resetting any fuel already spent.
     pub fn set_budget(&mut self, budget: Budget) {
         self.fuel = FuelMeter::new(budget);
+    }
+
+    /// Re-initializes the VM for a fresh run **without** rebuilding its
+    /// universe. The heap is epoch-reset (storage capacity retained, ids
+    /// restart at 1), exception chain ids restart, call statistics /
+    /// frames / depth / call sequence are zeroed, the hook and tracer are
+    /// detached, and the fuel meter is replaced with an unlimited budget —
+    /// exactly the state [`Vm::from_shared_registry`] constructs, so a
+    /// recycled VM's run records are bit-identical to a fresh VM's.
+    ///
+    /// Campaign sweeps call this between injection attempts instead of
+    /// building a VM per attempt; it is also safe after a panicking run
+    /// unwound through the VM (all guest state is discarded wholesale).
+    pub fn reset_for_run(&mut self) {
+        crate::exception::reset_chains();
+        self.heap.epoch_reset();
+        self.set_tracer(None);
+        self.hook = None;
+        self.frame_roots.clear();
+        self.frame_starts.clear();
+        self.depth = 0;
+        self.call_seq = 0;
+        self.stats.calls.iter_mut().for_each(|c| *c = 0);
+        self.stats.declaration_violations = 0;
+        self.stats.exceptions_seen = 0;
+        self.fuel = FuelMeter::new(Budget::unlimited());
     }
 
     /// The budget currently in force.
@@ -313,8 +343,8 @@ impl Vm {
     /// Roots `id` in the innermost live frame; no-op at driver level, where
     /// the driver is responsible for explicit [`Vm::root`]s.
     pub(crate) fn root_in_frame(&mut self, id: ObjId) {
-        if let Some(frame) = self.frames.last_mut() {
-            frame.push(id);
+        if !self.frame_starts.is_empty() {
+            self.frame_roots.push(id);
             self.heap.root(id);
         }
     }
@@ -368,10 +398,7 @@ impl Vm {
                 format!("fuel budget exhausted after {} steps", self.fuel.spent()),
             ));
         }
-        let (body, declared_ok): (MethodBody, Vec<crate::ids::ExcId>) = {
-            let def = self.registry.method(mid);
-            (body_clone(&def.body), def.declared.clone())
-        };
+        let body = body_clone(&self.registry.method(mid).body);
         self.stats.calls[mid.index()] += 1;
         self.call_seq += 1;
         let site = CallSite {
@@ -392,14 +419,13 @@ impl Vm {
 
         // New frame: receiver and reference arguments stay rooted for the
         // duration of the call.
-        let mut frame = Vec::with_capacity(1 + site.ref_args.len());
-        frame.push(recv);
+        self.frame_starts.push(self.frame_roots.len());
+        self.frame_roots.push(recv);
         self.heap.root(recv);
         for &a in &site.ref_args {
             self.heap.root(a);
-            frame.push(a);
+            self.frame_roots.push(a);
         }
-        self.frames.push(frame);
 
         let hook = self.hook.clone();
         let (body_ran, guard, mut result) = {
@@ -426,16 +452,15 @@ impl Vm {
         // threw, its locals are dead, so rollback cleanup inside `after`
         // may reclaim objects the failed callee allocated. The wrapper
         // itself still holds `this` and the by-reference arguments
-        // (Listings 1 and 2 both reference them after the call), so those
-        // stay rooted until the hooks are done.
-        self.heap.root(recv);
-        for &a in &site.ref_args {
-            self.heap.root(a);
-        }
-        let frame = self.frames.pop().expect("frame pushed above");
-        for id in frame {
+        // (Listings 1 and 2 both reference them after the call), so their
+        // entries — the first `1 + ref_args` roots of the frame, pushed
+        // above — are left counted until the hooks are done.
+        let start = self.frame_starts.pop().expect("frame pushed above");
+        let held = start + 1 + site.ref_args.len();
+        for id in self.frame_roots.drain(held..) {
             self.heap.unroot(id);
         }
+        self.frame_roots.truncate(start);
 
         if body_ran {
             if let Some(h) = &hook {
@@ -479,7 +504,7 @@ impl Vm {
                 if self.registry.profile().enforce_declared
                     && !e.injected
                     && e.ty != self.budget_exc
-                    && !declared_ok.contains(&e.ty)
+                    && !self.registry.method(mid).declared.contains(&e.ty)
                     && !self.registry.runtime_exceptions().contains(&e.ty)
                 {
                     self.stats.declaration_violations += 1;
@@ -746,6 +771,43 @@ mod tests {
         assert_eq!(taken.total_calls(), 2);
         assert_eq!(vm.stats().total_calls(), 0);
         assert_eq!(vm.stats().calls.len(), taken.calls.len());
+    }
+
+    #[test]
+    fn reset_for_run_matches_a_fresh_vm() {
+        let shared = Rc::new(counter_registry());
+        // Dirty a VM thoroughly: objects, stats, fuel, an open journal.
+        let mut recycled = Vm::from_shared_registry(shared.clone());
+        let c = recycled.construct("Counter", &[Value::Int(9)]).unwrap();
+        recycled.root(c);
+        recycled.call(c, "increment", &[]).unwrap();
+        let _ = recycled.call(c, "fail", &[]);
+        recycled.heap_mut().push_journal();
+        recycled.set_budget(crate::Budget::fuel(10));
+
+        recycled.reset_for_run();
+        let mut fresh = Vm::from_shared_registry(shared);
+
+        // Both universes now replay the same program identically: same
+        // object ids, same exception chain ids, same stats and fuel.
+        for vm in [&mut recycled, &mut fresh] {
+            let c = vm.construct("Counter", &[]).unwrap();
+            vm.root(c);
+            vm.call(c, "increment", &[]).unwrap();
+            let _ = vm.call(c, "fail", &[]);
+        }
+        assert_eq!(recycled.heap().len(), fresh.heap().len());
+        let rc: Vec<_> = recycled.heap().iter().map(|(id, _)| id).collect();
+        let fc: Vec<_> = fresh.heap().iter().map(|(id, _)| id).collect();
+        assert_eq!(rc, fc, "object ids restart identically");
+        assert_eq!(recycled.stats().calls, fresh.stats().calls);
+        assert_eq!(
+            recycled.stats().exceptions_seen,
+            fresh.stats().exceptions_seen
+        );
+        assert_eq!(recycled.fuel_spent(), fresh.fuel_spent());
+        assert_eq!(recycled.budget(), fresh.budget());
+        assert_eq!(recycled.heap().journal_depth(), 0);
     }
 
     #[test]

@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod fingerprint;
 mod size;
 mod trace;
 
 pub use checkpoint::Checkpoint;
+pub use fingerprint::{fingerprint_of_roots, graph_fingerprint, FingerprintCache};
 pub use size::{graph_size, GraphSize};
 pub use trace::{GraphSource, Snapshot};

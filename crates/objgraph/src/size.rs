@@ -34,11 +34,11 @@ pub(crate) fn object_bytes(obj: &Object) -> usize {
 /// use atomask_objgraph::graph_size;
 ///
 /// let mut rb = RegistryBuilder::new(Profile::cpp());
-/// rb.class("Blob", |c| { c.field("data", Value::Str(String::new())); });
+/// rb.class("Blob", |c| { c.field("data", Value::from("")); });
 /// let mut vm = Vm::new(rb.build());
 /// let b = vm.construct("Blob", &[])?;
 /// vm.root(b);
-/// vm.heap_mut().set_field(b, "data", Value::Str("x".repeat(100))).unwrap();
+/// vm.heap_mut().set_field(b, "data", Value::from("x".repeat(100))).unwrap();
 /// assert!(graph_size(vm.heap(), b).bytes >= 100);
 /// # Ok::<(), atomask_mor::Exception>(())
 /// ```

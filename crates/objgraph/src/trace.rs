@@ -50,8 +50,9 @@ enum Event {
     Float(u64),
     /// A boolean leaf.
     Bool(bool),
-    /// A string leaf.
-    Str(String),
+    /// A string leaf (shared storage — snapshotting costs a refcount
+    /// bump, not a copy).
+    Str(std::rc::Rc<str>),
     /// A reference to an object that is not live (dangling). Recorded
     /// rather than panicking so detection can still compare and report.
     Dangling,
@@ -379,7 +380,7 @@ mod tests {
         let plain = Snapshot::of(vm.heap(), a);
         assert_eq!(plain.approx_bytes(), 3 * 16, "Enter + Null + Int");
         vm.heap_mut()
-            .set_field(a, "value", Value::Str("hello".to_owned()))
+            .set_field(a, "value", Value::from("hello"))
             .unwrap();
         let stringy = Snapshot::of(vm.heap(), a);
         assert_eq!(stringy.approx_bytes(), 3 * 16 + 5);

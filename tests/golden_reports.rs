@@ -10,7 +10,7 @@
 
 use atomask_suite::report::{
     evaluate, render_case_study, render_class_distribution, render_method_classification,
-    render_table1, AppEvaluation,
+    render_replay, render_table1, AppEvaluation,
 };
 use atomask_suite::{classify, Campaign, Lang, MarkFilter};
 use std::path::PathBuf;
@@ -60,6 +60,18 @@ fn table_and_figures_match_goldens() {
     assert_or_bless("fig2.txt", &render_method_classification(&rows, Lang::Cpp));
     assert_or_bless("fig3.txt", &render_method_classification(&rows, Lang::Java));
     assert_or_bless("fig4.txt", &render_class_distribution(&rows));
+}
+
+/// `report repro` regression guard: the rendered replay of one fixed
+/// injection point — event trace, marks, and minimized divergence — is
+/// byte-identical across releases. Replay deliberately keeps the
+/// always-armed wrapper path (it needs the full trace and undo-log
+/// context), so sweep-side throughput work must never change this output.
+#[test]
+fn repro_output_matches_golden() {
+    let program = atomask_suite::apps::collections::linked_list::program();
+    let replay = Campaign::new(&program).replay(3);
+    assert_or_bless("repro_linkedlist_p3.txt", &render_replay(&replay));
 }
 
 #[test]

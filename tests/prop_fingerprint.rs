@@ -1,0 +1,163 @@
+//! Property tests of the incremental graph fingerprints: on randomized
+//! heaps with randomized journaled write sets, the fingerprint comparison
+//! the injection wrapper performs on its exception path must reach the
+//! same verdict as the full structural diff ([`Snapshot`] equality), and
+//! dirty-set invalidation must make a stale cache indistinguishable from
+//! a cold recomputation.
+
+use atomask_suite::{
+    fingerprint_of_roots, graph_fingerprint, FingerprintCache, ObjId, Profile, RegistryBuilder,
+    Snapshot, Value, Vm,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Construction ops for heaps of `Node {left, right, tag}` (indices are
+/// taken modulo the live node count).
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(i64),
+    LinkLeft(usize, usize),
+    LinkRight(usize, usize),
+    CutLeft(usize),
+    Retag(usize, i64),
+    /// Retag with a float chosen to stress bit-exact comparison
+    /// (`-0.0` vs `0.0`, `NaN`).
+    RetagFloat(usize, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..8).prop_map(Op::Alloc),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::LinkLeft(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::LinkRight(a, b)),
+        any::<usize>().prop_map(Op::CutLeft),
+        (any::<usize>(), 0i64..8).prop_map(|(a, t)| Op::Retag(a, t)),
+        (any::<usize>(), 0u8..4).prop_map(|(a, f)| Op::RetagFloat(a, f)),
+    ]
+}
+
+fn node_vm() -> Vm {
+    let mut rb = RegistryBuilder::new(Profile::java());
+    rb.class("Node", |c| {
+        c.field("left", Value::Null);
+        c.field("right", Value::Null);
+        c.field("tag", Value::Int(0));
+    });
+    Vm::new(rb.build())
+}
+
+fn apply(vm: &mut Vm, nodes: &mut Vec<ObjId>, ops: &[Op]) {
+    const FLOATS: [f64; 4] = [0.0, -0.0, 1.5, f64::NAN];
+    for op in ops {
+        match op {
+            Op::Alloc(tag) => {
+                let id = vm.alloc_raw("Node");
+                vm.root(id);
+                vm.heap_mut()
+                    .set_field(id, "tag", Value::Int(*tag))
+                    .unwrap();
+                nodes.push(id);
+            }
+            Op::LinkLeft(a, b) if !nodes.is_empty() => {
+                let (x, y) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+                vm.heap_mut().set_field(x, "left", Value::Ref(y)).unwrap();
+            }
+            Op::LinkRight(a, b) if !nodes.is_empty() => {
+                let (x, y) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+                vm.heap_mut().set_field(x, "right", Value::Ref(y)).unwrap();
+            }
+            Op::CutLeft(a) if !nodes.is_empty() => {
+                let x = nodes[a % nodes.len()];
+                vm.heap_mut().set_field(x, "left", Value::Null).unwrap();
+            }
+            Op::Retag(a, t) if !nodes.is_empty() => {
+                let x = nodes[a % nodes.len()];
+                vm.heap_mut().set_field(x, "tag", Value::Int(*t)).unwrap();
+            }
+            Op::RetagFloat(a, f) if !nodes.is_empty() => {
+                let x = nodes[a % nodes.len()];
+                vm.heap_mut()
+                    .set_field(x, "tag", Value::Float(FLOATS[*f as usize % FLOATS.len()]))
+                    .unwrap();
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wrapper's exception-path comparison, end to end: fill the cache
+    /// from the after-state, reconstruct the before-fingerprint over the
+    /// undo log's as-of view with the journal's touched set as the dirty
+    /// set, and the fingerprints agree **iff** the full structural diff
+    /// finds the graphs equal.
+    #[test]
+    fn fingerprint_verdict_matches_structural_diff(
+        build in prop::collection::vec(op_strategy(), 1..30),
+        writes in prop::collection::vec(op_strategy(), 0..20),
+    ) {
+        let mut vm = node_vm();
+        let mut nodes = Vec::new();
+        apply(&mut vm, &mut nodes, &build);
+        prop_assume!(!nodes.is_empty());
+        let root = nodes[0];
+        let before_snapshot = Snapshot::of(vm.heap(), root);
+        let before_cold_fp = fingerprint_of_roots(vm.heap(), &[root]);
+
+        vm.heap_mut().push_journal();
+        apply(&mut vm, &mut nodes, &writes);
+
+        // The hook's stage-2 sequence.
+        let mut cache = FingerprintCache::new();
+        let after_fp =
+            graph_fingerprint(vm.heap(), &[root], &mut cache, &HashSet::new());
+        let dirty = vm.heap().journal_innermost_touched();
+        let asof = vm.heap().asof_innermost().expect("journal layer is open");
+        let reconstructed_before_fp =
+            graph_fingerprint(&asof, &[root], &mut cache, &dirty);
+
+        // The before-reconstruction is exact, not merely verdict-equal.
+        prop_assert_eq!(reconstructed_before_fp, before_cold_fp);
+
+        // Verdict equivalence against the full structural diff.
+        let after_snapshot = Snapshot::of(vm.heap(), root);
+        let structurally_equal = before_snapshot == after_snapshot;
+        let fingerprints_equal = reconstructed_before_fp == after_fp;
+        prop_assert_eq!(
+            fingerprints_equal,
+            structurally_equal,
+            "fingerprint verdict diverged from Snapshot::first_difference: {:?}",
+            before_snapshot.first_difference(&after_snapshot)
+        );
+
+        vm.heap_mut().abort_journal();
+    }
+
+    /// Dirty-set invalidation is exact: a cache filled before the writes,
+    /// then reused with the journal's touched set, yields the same
+    /// fingerprint as a cold walk of the mutated heap.
+    #[test]
+    fn stale_cache_with_dirty_set_equals_cold_recomputation(
+        build in prop::collection::vec(op_strategy(), 1..30),
+        writes in prop::collection::vec(op_strategy(), 0..20),
+    ) {
+        let mut vm = node_vm();
+        let mut nodes = Vec::new();
+        apply(&mut vm, &mut nodes, &build);
+        prop_assume!(!nodes.is_empty());
+        let root = nodes[0];
+        let mut cache = FingerprintCache::new();
+        graph_fingerprint(vm.heap(), &[root], &mut cache, &HashSet::new());
+
+        vm.heap_mut().push_journal();
+        apply(&mut vm, &mut nodes, &writes);
+        let dirty = vm.heap().journal_innermost_touched();
+        let warm = graph_fingerprint(vm.heap(), &[root], &mut cache, &dirty);
+        let cold = fingerprint_of_roots(vm.heap(), &[root]);
+        prop_assert_eq!(warm, cold);
+        vm.heap_mut().commit_journal();
+    }
+}
