@@ -529,7 +529,8 @@ fn driver(vm: &mut Vm) -> MethodResult {
     }
     // Drain to empty and hit the empty-list error paths.
     while vm.call(list_id, "removeFirst", &[]).is_ok() {
-        if vm.heap().field(list_id, "size") == Some(int(0)) {
+        // Replay-aware read: checkpoint-resume retraces this loop.
+        if vm.field(list_id, "size") == Some(int(0)) {
             break;
         }
     }

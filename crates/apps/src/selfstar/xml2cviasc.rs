@@ -201,7 +201,8 @@ fn driver_v1(vm: &mut Vm) -> MethodResult {
     for _ in 0..2 {
         absorb(vm.call(b, "components", &[]));
         absorb(vm.call(a, "pushed", &[]));
-        let sink = vm.heap().field(b, "sink").unwrap_or(Value::Null);
+        // Replay-aware read: checkpoint-resume retraces this branch.
+        let sink = vm.field(b, "sink").unwrap_or(Value::Null);
         if let Some(sid) = sink.as_ref_id() {
             absorb(vm.call(sid, "received", &[]));
             absorb(vm.call(sid, "sum", &[]));
@@ -224,7 +225,8 @@ fn driver_v2(vm: &mut Vm) -> MethodResult {
         absorb(vm.call(b, "components", &[]));
         absorb(vm.call(a, "pushed", &[]));
         for field in ["sink", "sink2"] {
-            let sink = vm.heap().field(b, field).unwrap_or(Value::Null);
+            // Replay-aware read: checkpoint-resume retraces this branch.
+            let sink = vm.field(b, field).unwrap_or(Value::Null);
             if let Some(sid) = sink.as_ref_id() {
                 absorb(vm.call(sid, "received", &[]));
                 absorb(vm.call(sid, "sum", &[]));

@@ -144,10 +144,33 @@ fn bench_fast_forward(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    // The recording run's per-boundary cost: a structural copy of the
+    // whole live heap (O(live objects), clone_from into a fresh buffer).
+    for nodes in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("capture", nodes), &nodes, |b, &nodes| {
+            let (vm, _, _) = list_vm(nodes);
+            b.iter(|| black_box(vm.checkpoint()));
+        });
+        // The resumed run's setup cost: clone_from back into the live heap
+        // (allocation-light — buffers are recycled across restores).
+        group.bench_with_input(BenchmarkId::new("restore", nodes), &nodes, |b, &nodes| {
+            let (mut vm, _, _) = list_vm(nodes);
+            let cp = vm.checkpoint();
+            b.iter(|| {
+                vm.restore(black_box(&cp));
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_journal,
     bench_fingerprint,
-    bench_fast_forward
+    bench_fast_forward,
+    bench_checkpoint
 );
 criterion_main!(benches);

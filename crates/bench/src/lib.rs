@@ -11,8 +11,12 @@
 #![warn(missing_docs)]
 
 use atomask::report::{evaluate, AppEvaluation};
-use atomask::{Campaign, CampaignConfig, CaptureMode, Lang, TraceMode, DEFAULT_RING_CAPACITY};
+use atomask::{
+    Campaign, CampaignConfig, CaptureMode, CheckpointStride, Lang, Program, TraceMode, Vm,
+    DEFAULT_RING_CAPACITY,
+};
 use atomask_apps::AppSpec;
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Evaluates a list of suite applications, printing progress to stderr.
@@ -41,10 +45,21 @@ pub struct DetectionPerf {
     pub points: u64,
     /// Worker threads used by the parallel sweep.
     pub workers: usize,
-    /// Wall time of the sequential (1-worker) lazy-capture sweep, ns.
+    /// Wall time of the sequential (1-worker) lazy-capture sweep with
+    /// checkpoint-resume at its default (auto) stride, ns.
     pub sequential_ns: u128,
     /// Wall time of the sharded lazy-capture sweep, ns.
     pub parallel_ns: u128,
+    /// Wall time of a sequential lazy-capture sweep with checkpoint-resume
+    /// forced off — every injection run re-executes its prefix from
+    /// program entry (the pre-checkpoint engine), ns.
+    pub scratch_ns: u128,
+    /// Checkpoint stride the sequential sweep resolved to (`None` when the
+    /// environment disabled checkpoint-resume).
+    pub stride: Option<u64>,
+    /// Median wall time of one `Vm::checkpoint()` over the program's final
+    /// heap, ns — the per-boundary cost side of the stride cost model.
+    pub checkpoint_ns: u128,
     /// Wall time of the sequential eager-capture sweep (the seed's
     /// behaviour), ns.
     pub eager_ns: u128,
@@ -56,12 +71,12 @@ pub struct DetectionPerf {
     pub capture_bytes_eager: u64,
     /// Approximate bytes captured by the lazy-capture sweep.
     pub capture_bytes_lazy: u64,
-    /// Wall time of a second sequential lazy sweep with tracing explicitly
-    /// off, ns — the flight recorder's no-op-path cost (expected to be
-    /// measurement noise; the acceptance bound is < 10%).
+    /// Wall time of a second sequential lazy from-scratch sweep with
+    /// tracing explicitly off, ns — the flight recorder's no-op-path cost
+    /// (expected to be measurement noise; the acceptance bound is < 10%).
     pub noop_trace_ns: u128,
-    /// Wall time of a sequential lazy sweep with a per-run ring-buffer
-    /// sink installed, ns.
+    /// Wall time of a sequential lazy from-scratch sweep with a per-run
+    /// ring-buffer sink installed, ns.
     pub ring_trace_ns: u128,
 }
 
@@ -108,22 +123,33 @@ impl DetectionPerf {
         self.eager_ns as f64 / self.parallel_ns as f64
     }
 
-    /// Percentage overhead of the disabled flight recorder over the
-    /// baseline sweep (noise-level by construction; can be negative).
-    pub fn trace_noop_overhead_pct(&self) -> f64 {
+    /// From-scratch sequential wall time over checkpoint-resume sequential
+    /// wall time: the speedup of the resume engine alone.
+    pub fn resume_speedup(&self) -> f64 {
         if self.sequential_ns == 0 {
-            return 0.0;
+            return 1.0;
         }
-        100.0 * (self.noop_trace_ns as f64 / self.sequential_ns as f64 - 1.0)
+        self.scratch_ns as f64 / self.sequential_ns as f64
     }
 
-    /// Percentage overhead of a live ring-buffer sink over the baseline
-    /// sweep.
-    pub fn trace_ring_overhead_pct(&self) -> f64 {
-        if self.sequential_ns == 0 {
+    /// Percentage overhead of the disabled flight recorder over the
+    /// from-scratch sweep (noise-level by construction; can be negative).
+    /// Both legs run without checkpoint-resume, so the ratio isolates the
+    /// recorder.
+    pub fn trace_noop_overhead_pct(&self) -> f64 {
+        if self.scratch_ns == 0 {
             return 0.0;
         }
-        100.0 * (self.ring_trace_ns as f64 / self.sequential_ns as f64 - 1.0)
+        100.0 * (self.noop_trace_ns as f64 / self.scratch_ns as f64 - 1.0)
+    }
+
+    /// Percentage overhead of a live ring-buffer sink over the from-scratch
+    /// sweep (both legs without checkpoint-resume).
+    pub fn trace_ring_overhead_pct(&self) -> f64 {
+        if self.scratch_ns == 0 {
+            return 0.0;
+        }
+        100.0 * (self.ring_trace_ns as f64 / self.scratch_ns as f64 - 1.0)
     }
 }
 
@@ -156,6 +182,7 @@ fn timed_sweep(
     workers: usize,
     capture: CaptureMode,
     trace: TraceMode,
+    stride: CheckpointStride,
 ) -> (u128, u64, u64, u64) {
     let run_once = || {
         let program = spec.program();
@@ -163,6 +190,7 @@ fn timed_sweep(
             workers,
             capture,
             trace,
+            checkpoint_stride: stride,
             ..CampaignConfig::default()
         });
         if let Some(cap) = cap {
@@ -189,24 +217,85 @@ fn timed_sweep(
     (median(walls), last.1, last.2, last.3)
 }
 
+/// Median wall time of one [`Vm::checkpoint`] over the program's final
+/// heap — the structural-copy cost the stride cost model weighs against
+/// replay savings. The driver runs once (untimed), then the checkpoint is
+/// taken `perf_iters()` times on the quiescent VM.
+fn measure_checkpoint(spec: &AppSpec) -> u128 {
+    let program = spec.program();
+    let mut vm = Vm::new(program.build_registry());
+    let _ = program.run(&mut vm);
+    let _ = black_box(vm.checkpoint()); // warmup, discarded
+    let mut walls = Vec::with_capacity(perf_iters());
+    for _ in 0..perf_iters() {
+        let t0 = Instant::now();
+        let cp = vm.checkpoint();
+        walls.push(t0.elapsed().as_nanos());
+        black_box(cp);
+    }
+    median(walls)
+}
+
 /// Profiles one application's detection campaign: a sequential and a
 /// `workers`-way sharded sweep under lazy capture (for the speedup), a
-/// sequential eager-capture sweep (for the capture-cost baseline), and
-/// two tracing sweeps (disabled recorder and live ring sink). Every sweep
-/// pins its [`TraceMode`] so `ATOMASK_TRACE` cannot skew the numbers.
+/// from-scratch sequential sweep with checkpoint-resume forced off (for
+/// the resume speedup), a sequential eager-capture sweep (for the
+/// capture-cost baseline), and two tracing sweeps (disabled recorder and
+/// live ring sink). Every sweep pins its [`TraceMode`] so `ATOMASK_TRACE`
+/// cannot skew the numbers; checkpoint-resume runs at its default (auto)
+/// stride everywhere except the dedicated from-scratch leg.
 pub fn measure_detection(spec: &AppSpec, cap: Option<u64>, workers: usize) -> DetectionPerf {
-    let (sequential_ns, points, snapshots_lazy, capture_bytes_lazy) =
-        timed_sweep(spec, cap, 1, CaptureMode::Lazy, TraceMode::Off);
-    let (parallel_ns, _, _, _) = timed_sweep(spec, cap, workers, CaptureMode::Lazy, TraceMode::Off);
-    let (eager_ns, _, snapshots_eager, capture_bytes_eager) =
-        timed_sweep(spec, cap, 1, CaptureMode::Eager, TraceMode::Off);
-    let (noop_trace_ns, _, _, _) = timed_sweep(spec, cap, 1, CaptureMode::Lazy, TraceMode::Off);
+    let (sequential_ns, points, snapshots_lazy, capture_bytes_lazy) = timed_sweep(
+        spec,
+        cap,
+        1,
+        CaptureMode::Lazy,
+        TraceMode::Off,
+        CheckpointStride::Auto,
+    );
+    let (parallel_ns, _, _, _) = timed_sweep(
+        spec,
+        cap,
+        workers,
+        CaptureMode::Lazy,
+        TraceMode::Off,
+        CheckpointStride::Auto,
+    );
+    let (scratch_ns, _, _, _) = timed_sweep(
+        spec,
+        cap,
+        1,
+        CaptureMode::Lazy,
+        TraceMode::Off,
+        CheckpointStride::Off,
+    );
+    let (eager_ns, _, snapshots_eager, capture_bytes_eager) = timed_sweep(
+        spec,
+        cap,
+        1,
+        CaptureMode::Eager,
+        TraceMode::Off,
+        CheckpointStride::Auto,
+    );
+    // Tracing legs run with checkpoint-resume off: a live sink gates the
+    // resume engine anyway (replayed prefixes emit no events), so comparing
+    // against a resumed baseline would book the missing resume speedup as
+    // recorder overhead. Both overhead ratios are against `scratch_ns`.
+    let (noop_trace_ns, _, _, _) = timed_sweep(
+        spec,
+        cap,
+        1,
+        CaptureMode::Lazy,
+        TraceMode::Off,
+        CheckpointStride::Off,
+    );
     let (ring_trace_ns, _, _, _) = timed_sweep(
         spec,
         cap,
         1,
         CaptureMode::Lazy,
         TraceMode::Ring(DEFAULT_RING_CAPACITY),
+        CheckpointStride::Off,
     );
     DetectionPerf {
         name: spec.name.to_owned(),
@@ -215,6 +304,9 @@ pub fn measure_detection(spec: &AppSpec, cap: Option<u64>, workers: usize) -> De
         workers,
         sequential_ns,
         parallel_ns,
+        scratch_ns,
+        stride: CheckpointStride::Auto.resolve(points),
+        checkpoint_ns: measure_checkpoint(spec),
         eager_ns,
         snapshots_eager,
         snapshots_lazy,
@@ -278,6 +370,10 @@ pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
         geomean_sequential_pps(rows)
     ));
     out.push_str(&format!(
+        "  \"geomean_resume_speedup\": {:.3},\n",
+        geomean(rows.iter().map(DetectionPerf::resume_speedup))
+    ));
+    out.push_str(&format!(
         "  \"max_snapshot_reduction_pct\": {:.1},\n",
         rows.iter()
             .map(DetectionPerf::snapshot_reduction_pct)
@@ -293,11 +389,11 @@ pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
     };
     out.push_str(&format!(
         "  \"trace_noop_overhead_pct\": {:.1},\n",
-        overall_pct(sum(|r| r.noop_trace_ns), sum(|r| r.sequential_ns))
+        overall_pct(sum(|r| r.noop_trace_ns), sum(|r| r.scratch_ns))
     ));
     out.push_str(&format!(
         "  \"trace_ring_overhead_pct\": {:.1},\n",
-        overall_pct(sum(|r| r.ring_trace_ns), sum(|r| r.sequential_ns))
+        overall_pct(sum(|r| r.ring_trace_ns), sum(|r| r.scratch_ns))
     ));
     out.push_str("  \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -320,6 +416,26 @@ pub fn detection_perf_json(rows: &[DetectionPerf], workers: usize) -> String {
         out.push_str(&format!(
             "      \"parallel_points_per_sec\": {:.1},\n",
             r.points_per_sec(r.parallel_ns)
+        ));
+        out.push_str(&format!(
+            "      \"scratch_ms\": {:.3},\n",
+            r.scratch_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "      \"resume_points_per_sec\": {:.1},\n",
+            r.points_per_sec(r.sequential_ns)
+        ));
+        out.push_str(&format!(
+            "      \"resume_speedup\": {:.3},\n",
+            r.resume_speedup()
+        ));
+        out.push_str(&format!(
+            "      \"stride\": {},\n",
+            r.stride.map_or("null".to_owned(), |s| s.to_string())
+        ));
+        out.push_str(&format!(
+            "      \"checkpoint_ms\": {:.4},\n",
+            r.checkpoint_ns as f64 / 1e6
         ));
         out.push_str(&format!(
             "      \"eager_ms\": {:.3},\n",
@@ -416,6 +532,12 @@ mod tests {
         assert!((parsed[0] - perf.points_per_sec(perf.sequential_ns)).abs() < 0.1);
         assert!(json.contains("\"trace_noop_overhead_pct\""));
         assert!(json.contains("\"ring_trace_ms\""));
+        assert!(json.contains("\"resume_points_per_sec\""));
+        assert!(json.contains("\"resume_speedup\""));
+        assert!(json.contains("\"checkpoint_ms\""));
+        assert!(json.contains("\"stride\""));
+        assert!(json.contains("\"geomean_resume_speedup\""));
+        assert!(perf.checkpoint_ns > 0, "checkpoint micro-measure ran");
         // Shape check: braces and brackets balance.
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
@@ -431,6 +553,9 @@ mod tests {
             workers: 1,
             sequential_ns: 0,
             parallel_ns: 0,
+            scratch_ns: 0,
+            stride: None,
+            checkpoint_ns: 0,
             eager_ns: 0,
             snapshots_eager: 0,
             snapshots_lazy: 0,
@@ -444,6 +569,7 @@ mod tests {
         assert_eq!(perf.snapshot_reduction_pct(), 0.0);
         assert_eq!(perf.capture_speedup(), 1.0);
         assert_eq!(perf.total_speedup(), 1.0);
+        assert_eq!(perf.resume_speedup(), 1.0);
         assert_eq!(perf.trace_noop_overhead_pct(), 0.0);
         assert_eq!(perf.trace_ring_overhead_pct(), 0.0);
     }

@@ -51,10 +51,10 @@ pub use pipeline::{Pipeline, PipelineReport};
 
 pub use atomask_inject::{
     classify, silent_diagnostics, stderr_diagnostics, suggest_exception_free, Campaign,
-    CampaignConfig, CampaignJournal, CampaignResult, CaptureMode, CaptureStats, Classification,
-    DiagnosticsFn, Divergence, InjectionHook, Mark, MarkFilter, MethodClassification, ReplayReport,
-    RetryPolicy, RunHealth, RunOutcome, RunResult, SurvivingWrite, TraceMode, Verdict,
-    VerdictCounts, DEFAULT_RING_CAPACITY,
+    CampaignConfig, CampaignJournal, CampaignResult, CaptureMode, CaptureStats, CheckpointStride,
+    Classification, DiagnosticsFn, Divergence, InjectionHook, Mark, MarkFilter,
+    MethodClassification, ReplayReport, RetryPolicy, RunHealth, RunOutcome, RunResult,
+    SurvivingWrite, TraceMode, Verdict, VerdictCounts, DEFAULT_RING_CAPACITY,
 };
 pub use atomask_mask::{
     verify_masked, verify_masked_configured, verify_masked_with, MaskStats, MaskStrategy,

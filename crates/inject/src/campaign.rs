@@ -36,12 +36,13 @@
 //! results are therefore bit-for-bit identical to the sequential sweep,
 //! whatever the worker count (see DESIGN.md, "Campaign execution").
 
-use crate::hook::{CaptureMode, InjectionHook};
+use crate::hook::{CaptureMode, CaptureStats, InjectionHook};
 use crate::journal::CampaignJournal;
 use crate::marks::Mark;
 use crate::replay::{Divergence, ReplayReport};
 use atomask_mor::{
-    Budget, CallHook, ExcId, HookChain, MethodId, Program, Registry, RingBufferSink, Vm,
+    Budget, CallHook, ExcId, HookChain, MethodId, OpRecord, Program, Registry, RingBufferSink, Vm,
+    VmCheckpoint, REPLAY_MISMATCH,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -107,6 +108,64 @@ impl TraceMode {
                         .filter(|n| *n > 0)
                 }
             }
+        }
+    }
+}
+
+/// Stride (in injection points) between the VM checkpoints a sweep records
+/// for checkpoint-resume execution (see `DESIGN.md` §10).
+///
+/// With checkpoint-resume on, the campaign performs one *recording* run —
+/// the program executes normally under an observing hook while the VM logs
+/// every top-level driver operation and captures an
+/// [`atomask_mor::VmCheckpoint`] each time the point counter crosses a
+/// stride boundary. Every injection run then *replays* the recorded prefix
+/// up to the nearest checkpoint strictly before its target point, restores
+/// the checkpoint, and executes only the tail live — turning the sweep's
+/// quadratic prefix re-execution into `O(N·stride)` work. Results and
+/// journals are bit-for-bit identical to from-scratch execution
+/// (`crates/inject/tests/checkpoint_equivalence.rs` proves it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckpointStride {
+    /// Resolve from the `ATOMASK_CKPT_STRIDE` environment variable: `off`
+    /// or `0` disables checkpoint-resume, a positive integer is used as
+    /// the stride; unset (or unparsable) picks `⌊√N⌋` for an `N`-point
+    /// sweep — the stride minimizing `checkpoint_cost·N/stride +
+    /// replay_cost·N·stride` when both costs are comparable.
+    #[default]
+    Auto,
+    /// Never checkpoint: every injection run executes from program entry
+    /// (the pre-PR-5 behaviour, and the reference side of the equivalence
+    /// suite).
+    Off,
+    /// Capture a checkpoint every `n` injection points (`0` disables,
+    /// like [`CheckpointStride::Off`]).
+    Every(u64),
+}
+
+impl CheckpointStride {
+    /// The effective stride for an `N`-point sweep, or `None` for
+    /// checkpoint-resume off. Public so the bench harness can report the
+    /// stride a sweep actually ran with.
+    pub fn resolve(self, total_points: u64) -> Option<u64> {
+        let auto = || Some(total_points.isqrt().max(1));
+        match self {
+            CheckpointStride::Off => None,
+            CheckpointStride::Every(n) => (n > 0).then_some(n),
+            CheckpointStride::Auto => match std::env::var("ATOMASK_CKPT_STRIDE") {
+                Err(_) => auto(),
+                Ok(v) => {
+                    let v = v.trim();
+                    if v.eq_ignore_ascii_case("off") || v == "0" {
+                        None
+                    } else {
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .map_or_else(auto, Some)
+                    }
+                }
+            },
         }
     }
 }
@@ -221,6 +280,13 @@ pub struct CampaignConfig {
     /// fuel counts are identical whatever the mode — only the
     /// `trace_events` run statistic changes.
     pub trace: TraceMode,
+    /// Checkpoint stride for checkpoint-resume sweeps. Defaults to
+    /// [`CheckpointStride::Auto`] (`ATOMASK_CKPT_STRIDE`, else `⌊√N⌋`).
+    /// Checkpoint-resume only engages when the campaign's other knobs
+    /// permit it — fast-forward on, no inner hook, no flight recorder —
+    /// and silently falls back to from-scratch execution otherwise; either
+    /// way results and journals are bit-identical.
+    pub checkpoint_stride: CheckpointStride,
     /// Where campaign warnings go. Defaults to [`stderr_diagnostics`].
     pub diagnostics: DiagnosticsFn,
 }
@@ -234,6 +300,7 @@ impl Default for CampaignConfig {
             workers: 0,
             capture: CaptureMode::default(),
             trace: TraceMode::default(),
+            checkpoint_stride: CheckpointStride::default(),
             diagnostics: stderr_diagnostics,
         }
     }
@@ -247,11 +314,53 @@ impl PartialEq for CampaignConfig {
             && self.workers == other.workers
             && self.capture == other.capture
             && self.trace == other.trace
+            && self.checkpoint_stride == other.checkpoint_stride
             && std::ptr::fn_addr_eq(self.diagnostics, other.diagnostics)
     }
 }
 
 impl Eq for CampaignConfig {}
+
+/// One resumable boundary of a recorded sweep: the op-log cursor and point
+/// counter at a quiescent top-level boundary, the injector-prefix state a
+/// resumed hook is seeded with, and the VM checkpoint to restore there.
+#[derive(Debug)]
+struct SweepCheckpoint {
+    /// Index into the plan's op log at which live execution resumes.
+    op_cursor: usize,
+    /// The injector's point counter at this boundary; only targets
+    /// strictly beyond it can resume here.
+    point: u64,
+    /// Marks the prefix recorded (application-thrown exceptions mark even
+    /// before any injection).
+    marks: Vec<Mark>,
+    /// The prefix's capture-cost counters.
+    stats: CaptureStats,
+    /// The structural VM state at the boundary, shared by every run that
+    /// resumes here.
+    vm: Rc<VmCheckpoint>,
+}
+
+/// The product of one recording run: the top-level op log plus the strided
+/// checkpoints, shared (within one thread) by every resumed run of the
+/// sweep.
+#[derive(Debug)]
+struct SweepPlan {
+    ops: Rc<Vec<OpRecord>>,
+    /// Ascending by `point` (and by `op_cursor`): captured in execution
+    /// order, at most one per point value.
+    checkpoints: Vec<SweepCheckpoint>,
+}
+
+impl SweepPlan {
+    /// The latest checkpoint whose point counter is strictly before
+    /// `target` — strict, because a checkpoint *at* the target has already
+    /// consumed the armed window the resumed run must still hit.
+    fn best_for(&self, target: u64) -> Option<&SweepCheckpoint> {
+        let idx = self.checkpoints.partition_point(|c| c.point < target);
+        idx.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+}
 
 /// The outcome of one injector run (one `InjectionPoint` value).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -549,6 +658,13 @@ impl<'p> Campaign<'p> {
         self
     }
 
+    /// Sets the checkpoint-resume stride (see
+    /// [`CampaignConfig::checkpoint_stride`]).
+    pub fn checkpoint_stride(mut self, stride: CheckpointStride) -> Self {
+        self.config.checkpoint_stride = stride;
+        self
+    }
+
     /// Executes the campaign.
     pub fn run(&self) -> CampaignResult {
         let mut scratch = CampaignJournal::new();
@@ -598,11 +714,27 @@ impl<'p> Campaign<'p> {
         let missing: Vec<u64> = (1..=limit)
             .filter(|p| journal.run_for(*p).is_none())
             .collect();
-        let workers = self.plan_workers(missing.len());
-        let runs = if workers <= 1 {
-            self.sweep_sequential(journal, &registry, limit)
+        // Checkpoint-resume stride, resolved once for the whole sweep (the
+        // environment is read here, not per worker). `None` — configured
+        // off, or a campaign mode the replay engine does not cover — means
+        // every missing point runs from scratch, as before.
+        let stride = if missing.is_empty() || !self.checkpointing_possible() {
+            None
         } else {
-            self.sweep_parallel(journal, limit, &missing, workers)
+            self.config.checkpoint_stride.resolve(limit)
+        };
+        let workers = plan_worker_count(
+            self.config.workers,
+            env_workers(),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            missing.len(),
+        );
+        let runs = if workers <= 1 {
+            self.sweep_sequential(journal, &registry, limit, stride)
+        } else {
+            self.sweep_parallel(journal, limit, &missing, workers, stride)
         };
 
         CampaignResult {
@@ -614,26 +746,16 @@ impl<'p> Campaign<'p> {
         }
     }
 
-    /// Resolves the effective worker count for a sweep with `missing`
-    /// points left to execute. An explicit count (config or
-    /// `ATOMASK_WORKERS`) is honored as-is; auto mode uses the machine's
-    /// parallelism but stays sequential for small sweeps, where thread
-    /// setup would cost more than it buys.
-    fn plan_workers(&self, missing: usize) -> usize {
-        const AUTO_PARALLEL_MIN_POINTS: usize = 32;
-        let requested = if self.config.workers > 0 {
-            self.config.workers
-        } else if let Some(n) = env_workers() {
-            n
-        } else {
-            if missing < AUTO_PARALLEL_MIN_POINTS {
-                return 1;
-            }
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
-        requested.min(missing.max(1))
+    /// `true` iff this campaign's configuration is one the checkpoint-
+    /// resume engine covers: phase-gated fast-forward on (the resumed
+    /// hook's prefix seeding assumes the arithmetic counter), no inner
+    /// hook (a masking hook accumulates its own per-run state the replay
+    /// cannot reconstruct), and no flight recorder (a resumed run cannot
+    /// re-emit the prefix's trace events). Outside that envelope every
+    /// run executes from scratch — same results, just without the
+    /// speedup.
+    fn checkpointing_possible(&self) -> bool {
+        self.fast_forward && self.inner_hook.is_none() && self.config.trace.resolve().is_none()
     }
 
     /// The classic in-order sweep on the campaign thread.
@@ -642,11 +764,13 @@ impl<'p> Campaign<'p> {
         journal: &mut CampaignJournal,
         registry: &Rc<Registry>,
         limit: u64,
+        stride: Option<u64>,
     ) -> Vec<RunResult> {
         // One reusable VM universe for the whole sweep: every attempt
         // resets it to the pristine epoch instead of rebuilding the heap
         // and chain tables per injection point.
         let mut vm = Vm::from_shared_registry(registry.clone());
+        let plan = stride.and_then(|s| self.record_plan(&mut vm, s));
         let mut runs = Vec::with_capacity(limit as usize);
         let mut unhealthy = 0u64;
         for injection_point in 1..=limit {
@@ -661,7 +785,7 @@ impl<'p> Campaign<'p> {
             let run = if self.config.max_failures.is_some_and(|cap| unhealthy >= cap) {
                 RunResult::skipped(injection_point)
             } else {
-                self.run_point(&mut vm, injection_point)
+                self.run_point(&mut vm, injection_point, plan.as_ref())
             };
             if !run.is_healthy() {
                 unhealthy += 1;
@@ -689,11 +813,21 @@ impl<'p> Campaign<'p> {
         limit: u64,
         missing: &[u64],
         workers: usize,
+        stride: Option<u64>,
     ) -> Vec<RunResult> {
         let next = AtomicUsize::new(0);
         let cancelled = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<RunResult>();
         let mut runs = Vec::with_capacity(limit as usize);
+        // Checkpoint-aligned chunked claiming: per-point `fetch_add(1)`
+        // interleaves neighbouring points across workers, which defeats
+        // checkpoint locality (consecutive points share a checkpoint) and
+        // pays one atomic RMW per point. Claiming a stride-sized chunk
+        // keeps a checkpoint's whole clientele on one worker and
+        // amortizes the contention; without checkpointing a modest fixed
+        // chunk still cuts the RMW traffic. Tail imbalance stays bounded
+        // by one chunk per worker.
+        let chunk = stride.map_or(8, |s| (s as usize).clamp(1, 64));
         std::thread::scope(|scope| {
             let next = &next;
             let cancelled = &cancelled;
@@ -703,21 +837,32 @@ impl<'p> Campaign<'p> {
                     // Each worker owns a private registry + VM universe;
                     // the program promises identical builds, so ids (and
                     // thus results) are identical across workers. The VM is
-                    // recycled across every point the worker claims.
+                    // recycled across every point the worker claims. Plans
+                    // hold `Rc`s, so each worker records its own from its
+                    // private universe.
                     let registry = Rc::new(self.program.build_registry());
                     let mut vm = Vm::from_shared_registry(registry.clone());
-                    while !cancelled.load(Ordering::Relaxed) {
-                        let claim = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&point) = missing.get(claim) else {
+                    let plan = stride.and_then(|s| self.record_plan(&mut vm, s));
+                    'claim: while !cancelled.load(Ordering::Relaxed) {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= missing.len() {
                             break;
-                        };
-                        // `run_point` already isolates guest panics; a
-                        // panic *outside* it is a harness bug, but a
-                        // poisoned result keeps the writer from waiting
-                        // forever on the claimed point. The recycled VM is
-                        // safe to keep either way: the next attempt's
-                        // `reset_for_run` discards whatever the unwind left.
-                        let run = catch_unwind(AssertUnwindSafe(|| self.run_point(&mut vm, point)))
+                        }
+                        let end = (start + chunk).min(missing.len());
+                        for &point in &missing[start..end] {
+                            if cancelled.load(Ordering::Relaxed) {
+                                break 'claim;
+                            }
+                            // `run_point` already isolates guest panics; a
+                            // panic *outside* it is a harness bug, but a
+                            // poisoned result keeps the writer from waiting
+                            // forever on the claimed point. The recycled VM
+                            // is safe to keep either way: the next attempt's
+                            // `reset_for_run` discards whatever the unwind
+                            // left.
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_point(&mut vm, point, plan.as_ref())
+                            }))
                             .unwrap_or_else(|payload| RunResult {
                                 injection_point: point,
                                 injected: None,
@@ -733,8 +878,9 @@ impl<'p> Campaign<'p> {
                                 capture_bytes: 0,
                                 trace_events: 0,
                             });
-                        if tx.send(run).is_err() {
-                            break;
+                            if tx.send(run).is_err() {
+                                break 'claim;
+                            }
                         }
                     }
                 });
@@ -786,12 +932,27 @@ impl<'p> Campaign<'p> {
     }
 
     /// Runs one injection point to a final outcome, retrying unhealthy runs
-    /// per the [`RetryPolicy`] with a scaled-up budget.
-    fn run_point(&self, vm: &mut Vm, injection_point: u64) -> RunResult {
+    /// per the [`RetryPolicy`] with a scaled-up budget. With a sweep plan,
+    /// every attempt resumes from the nearest checkpoint strictly before
+    /// the target; a replay mismatch (the determinism guard tripping)
+    /// demotes the point to from-scratch execution permanently.
+    fn run_point(&self, vm: &mut Vm, injection_point: u64, plan: Option<&SweepPlan>) -> RunResult {
         let mut budget = self.config.budget;
         let mut attempt = 0u32;
+        let mut resume = plan.and_then(|p| p.best_for(injection_point).map(|c| (p, c)));
         loop {
-            let mut run = self.attempt_point(vm, injection_point, budget);
+            let mut run = match resume {
+                Some((plan, ckpt)) => {
+                    match self.attempt_point_resumed(vm, injection_point, budget, plan, ckpt) {
+                        Some(run) => run,
+                        None => {
+                            resume = None;
+                            self.attempt_point(vm, injection_point, budget)
+                        }
+                    }
+                }
+                None => self.attempt_point(vm, injection_point, budget),
+            };
             run.retries = attempt;
             let retryable = matches!(run.outcome, RunOutcome::Diverged | RunOutcome::Panicked);
             if !retryable || attempt >= self.config.retry.max_retries {
@@ -820,6 +981,144 @@ impl<'p> Campaign<'p> {
             self.fast_forward,
         )
         .0
+    }
+
+    /// One recording run: executes the program normally under an observing
+    /// hook while the VM logs top-level driver ops, capturing a
+    /// [`SweepCheckpoint`] whenever the point counter crosses a stride
+    /// threshold. Returns `None` — checkpoint-resume off for this sweep —
+    /// unless the recording is *healthy*: no panic, no fuel exhaustion, no
+    /// replay residue. Health is load-bearing for equivalence: a healthy
+    /// recording under the base budget proves that every injection run's
+    /// disarmed prefix (an identical execution up to the checkpoint)
+    /// completes without panicking or exhausting any attempt's budget,
+    /// since retries only ever scale budgets up.
+    fn record_plan(&self, vm: &mut Vm, stride: u64) -> Option<SweepPlan> {
+        vm.reset_for_run();
+        vm.set_budget(self.config.budget);
+        let hook = Rc::new(RefCell::new(
+            InjectionHook::observing().capture(self.effective_capture()),
+        ));
+        self.install(vm, hook.clone());
+        let checkpoints: Rc<RefCell<Vec<SweepCheckpoint>>> = Rc::default();
+        vm.start_recording();
+        {
+            let hook = Rc::clone(&hook);
+            let checkpoints = Rc::clone(&checkpoints);
+            // First capture as soon as any point exists (a point-0 boundary
+            // checkpoint could serve no target the prefix-less run cannot),
+            // then one every `stride` points.
+            let mut threshold = 1u64;
+            vm.set_boundary_probe(Some(Box::new(move |vm, op_cursor| {
+                let h = hook.borrow();
+                let point = h.points();
+                if point >= threshold {
+                    checkpoints.borrow_mut().push(SweepCheckpoint {
+                        op_cursor,
+                        point,
+                        marks: h.marks().to_vec(),
+                        stats: h.capture_stats(),
+                        vm: Rc::new(vm.checkpoint()),
+                    });
+                    threshold = point + stride;
+                }
+            })));
+        }
+        let panicked = catch_unwind(AssertUnwindSafe(|| self.program.run(&mut *vm))).is_err();
+        let ops = vm.finish_recording().expect("recording was active");
+        vm.set_hook(None);
+        let healthy = !panicked && !vm.fuel_exhausted() && !vm.replay_active();
+        if !healthy {
+            return None;
+        }
+        drop(hook);
+        let mut checkpoints = Rc::try_unwrap(checkpoints)
+            .expect("probe released its clone")
+            .into_inner();
+        // A checkpoint at the very end of the op log has no live tail to
+        // switch into — a resumed run would replay the whole driver and
+        // trip the leftover-replay guard. Never schedule one.
+        checkpoints.retain(|c| c.op_cursor < ops.len());
+        Some(SweepPlan {
+            ops: Rc::new(ops),
+            checkpoints,
+        })
+    }
+
+    /// One isolated attempt at one injection point, resumed from a sweep
+    /// checkpoint: the recorded prefix replays at host speed (guest bodies
+    /// never run), the checkpoint restores heap / stats / fuel / chain
+    /// watermark at the switch op, and the tail executes live with the
+    /// injector seeded with the prefix's counter, marks, and capture
+    /// stats. Returns `None` when the determinism guard trips (replay
+    /// mismatch, or the driver finished while still replaying) — the
+    /// caller then falls back to from-scratch execution for this point.
+    fn attempt_point_resumed(
+        &self,
+        vm: &mut Vm,
+        injection_point: u64,
+        budget: Budget,
+        plan: &SweepPlan,
+        ckpt: &SweepCheckpoint,
+    ) -> Option<RunResult> {
+        vm.reset_for_run();
+        vm.set_budget(budget);
+        let hook = Rc::new(RefCell::new(
+            InjectionHook::with_injection_point(injection_point)
+                .capture(self.effective_capture())
+                .fast_forward(true)
+                .resume_prefix(ckpt.point, ckpt.marks.clone(), ckpt.stats),
+        ));
+        self.install(vm, hook.clone());
+        vm.begin_replay(Rc::clone(&plan.ops), ckpt.op_cursor, Rc::clone(&ckpt.vm));
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.program.run(&mut *vm)));
+        let replay_leftover = vm.replay_active();
+        vm.clear_replay();
+        vm.set_hook(None);
+        let diverged = vm.fuel_exhausted();
+        let fuel_spent = vm.fuel_spent();
+        if let Err(payload) = &outcome {
+            if panic_message(payload.as_ref()).contains(REPLAY_MISMATCH) {
+                return None;
+            }
+        }
+        if replay_leftover {
+            return None;
+        }
+        let hook = extract_hook_state(hook, self.config.diagnostics);
+        let capture = hook.capture_stats();
+        // Outcome resolution is a verbatim copy of the from-scratch path
+        // (`attempt_point_traced`): an exhausted budget wins over how the
+        // run happened to end.
+        let (outcome, top_error) = match outcome {
+            _ if diverged => (
+                RunOutcome::Diverged,
+                match outcome {
+                    Ok(result) => result.err().map(|e| e.to_string()),
+                    Err(payload) => Some(format!("panic: {}", panic_message(payload.as_ref()))),
+                },
+            ),
+            Ok(result) => (RunOutcome::Completed, result.err().map(|e| e.to_string())),
+            Err(payload) => (
+                RunOutcome::Panicked,
+                Some(format!("panic: {}", panic_message(payload.as_ref()))),
+            ),
+        };
+        Some(RunResult {
+            injection_point,
+            injected: hook.injected(),
+            marks: hook.into_marks(),
+            top_error,
+            outcome,
+            retries: 0,
+            fuel_spent,
+            snapshots: capture.snapshots,
+            capture_bytes: capture.capture_bytes,
+            // Checkpointing only engages with the flight recorder off
+            // (`checkpointing_possible`), where from-scratch runs record 0
+            // trace events too.
+            trace_events: 0,
+        })
     }
 
     /// One isolated attempt at one injection point with explicit tracing,
@@ -1017,6 +1316,34 @@ fn extract_hook_state(
             }
         },
     }
+}
+
+/// Resolves the effective worker count for a sweep with `missing` points
+/// left to execute. An explicit count (`explicit` from the config, or
+/// `env` from `ATOMASK_WORKERS`) is honored as-is; auto mode stays
+/// sequential on machines without parallelism (`available <= 1`) — a
+/// single worker thread only adds scheduling and channel overhead on top
+/// of the same serial execution — and for small sweeps, where thread
+/// setup would cost more than it buys. Any resolved count is clamped to
+/// the work available.
+fn plan_worker_count(
+    explicit: usize,
+    env: Option<usize>,
+    available: usize,
+    missing: usize,
+) -> usize {
+    const AUTO_PARALLEL_MIN_POINTS: usize = 32;
+    let requested = if explicit > 0 {
+        explicit
+    } else if let Some(n) = env {
+        n
+    } else {
+        if available <= 1 || missing < AUTO_PARALLEL_MIN_POINTS {
+            return 1;
+        }
+        available
+    };
+    requested.min(missing.max(1))
 }
 
 /// `ATOMASK_WORKERS`, if set to a positive integer.
@@ -1405,5 +1732,115 @@ mod tests {
         let replay = campaign.replay(skipped.injection_point);
         assert_ne!(replay.run.outcome, RunOutcome::Skipped);
         assert!(replay.run.fuel_spent > 0);
+    }
+
+    #[test]
+    fn auto_workers_stay_sequential_without_parallelism() {
+        // The auto-workers bug this guards against: a machine reporting
+        // `available_parallelism() == 1` used to get a full worker-pool
+        // setup for large sweeps — one thread, plus channel and scope
+        // overhead, for strictly serial execution.
+        assert_eq!(plan_worker_count(0, None, 1, 10_000), 1);
+        // Small sweeps stay sequential whatever the machine offers.
+        assert_eq!(plan_worker_count(0, None, 16, 31), 1);
+        // Auto mode on a parallel machine shards large sweeps.
+        assert_eq!(plan_worker_count(0, None, 8, 10_000), 8);
+        // Explicit counts (config, then environment) are honored as-is,
+        // even on a single-core machine, clamped only to the work.
+        assert_eq!(plan_worker_count(4, None, 1, 10_000), 4);
+        assert_eq!(plan_worker_count(0, Some(6), 1, 10_000), 6);
+        assert_eq!(plan_worker_count(4, Some(6), 1, 10_000), 4, "config wins");
+        assert_eq!(plan_worker_count(64, None, 8, 3), 3, "clamped to work");
+        assert_eq!(plan_worker_count(2, None, 8, 0), 1, "no work, no pool");
+    }
+
+    #[test]
+    fn checkpoint_stride_resolution() {
+        assert_eq!(CheckpointStride::Off.resolve(100), None);
+        assert_eq!(CheckpointStride::Every(7).resolve(100), Some(7));
+        assert_eq!(CheckpointStride::Every(0).resolve(100), None);
+        if std::env::var("ATOMASK_CKPT_STRIDE").is_err() {
+            assert_eq!(CheckpointStride::Auto.resolve(100), Some(10));
+            assert_eq!(CheckpointStride::Auto.resolve(0), Some(1), "floor of 1");
+            assert_eq!(CheckpointStride::Auto.resolve(10_000), Some(100));
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_from_scratch_smoke() {
+        // The exhaustive property suite lives in
+        // `tests/checkpoint_equivalence.rs`; this smoke test keeps the
+        // core bit-for-bit claim close to the implementation, on the
+        // nastiest in-crate program (diverging and panicking points).
+        let p = pathological_program();
+        let base = |stride| {
+            Campaign::new(&p)
+                .budget(Budget::fuel(20_000))
+                .workers(1)
+                .checkpoint_stride(stride)
+                .run()
+        };
+        let scratch = base(CheckpointStride::Off);
+        for stride in [1, 2, 7] {
+            let resumed = base(CheckpointStride::Every(stride));
+            assert_eq!(resumed.runs, scratch.runs, "stride {stride}");
+            assert_eq!(resumed.baseline_calls, scratch.baseline_calls);
+            assert_eq!(resumed.total_points, scratch.total_points);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_prefix_work() {
+        // Fuel and every other VM-visible statistic are identical by
+        // construction (restored, not recharged), so the saved work can
+        // only be observed through a side channel the engine cannot fake:
+        // a host-side counter bumped by a guest body. From scratch, every
+        // injection run re-executes the whole prefix, so body executions
+        // are quadratic in the sweep size; with checkpoint-resume the
+        // replayed prefixes never run guest bodies at all.
+        use std::cell::Cell;
+        thread_local! {
+            static BODY_RUNS: Cell<u64> = const { Cell::new(0) };
+        }
+        const STEPS: i64 = 12;
+        let p = FnProgram::new(
+            "stepper",
+            || {
+                let mut rb = RegistryBuilder::new(Profile::java());
+                rb.class("C", |c| {
+                    c.field("n", Value::Int(0));
+                    c.method("step", |ctx, this, _| {
+                        BODY_RUNS.with(|b| b.set(b.get() + 1));
+                        let n = ctx.get_int(this, "n");
+                        ctx.set(this, "n", Value::Int(n + 1));
+                        Ok(Value::Null)
+                    });
+                });
+                rb.build()
+            },
+            |vm| {
+                let c = vm.construct("C", &[])?;
+                vm.root(c);
+                let mut last = Value::Null;
+                for _ in 0..STEPS {
+                    last = vm.call(c, "step", &[])?;
+                }
+                Ok(last)
+            },
+        );
+        let sweep = |stride| {
+            BODY_RUNS.with(|b| b.set(0));
+            let result = Campaign::new(&p).workers(1).checkpoint_stride(stride).run();
+            (result, BODY_RUNS.with(|b| b.get()))
+        };
+        let (scratch, scratch_bodies) = sweep(CheckpointStride::Off);
+        let (resumed, resumed_bodies) = sweep(CheckpointStride::Every(1));
+        assert_eq!(scratch.runs, resumed.runs, "bit-identical results");
+        assert!(
+            resumed_bodies * 2 < scratch_bodies,
+            "resumed sweep re-executed almost as many guest bodies \
+             ({resumed_bodies}) as the quadratic from-scratch sweep \
+             ({scratch_bodies})"
+        );
     }
 }

@@ -184,6 +184,25 @@ impl InjectionHook {
         self
     }
 
+    /// Pre-loads the injector state a checkpoint-resumed run starts from
+    /// (builder style): the point counter, the marks the prefix recorded
+    /// (application-thrown exceptions can mark before the target point),
+    /// and the prefix's capture counters. The phase stays `Disarmed` —
+    /// resume plans only select checkpoints strictly *before* the target
+    /// point, so the injection is always still ahead of the restored
+    /// counter and the arming window fires exactly as it would have in a
+    /// from-scratch run.
+    pub fn resume_prefix(mut self, point: u64, marks: Vec<Mark>, stats: CaptureStats) -> Self {
+        debug_assert!(
+            self.injection_point.is_none_or(|ip| point < ip),
+            "resume checkpoints must precede the injection point"
+        );
+        self.point = point;
+        self.marks = marks;
+        self.stats = stats;
+        self
+    }
+
     /// Takes the minimized divergence out of the hook, if one was
     /// recorded.
     pub fn take_divergence(&mut self) -> Option<Divergence> {

@@ -77,7 +77,8 @@ mod suggest;
 pub use analyzer::{method_injection_plan, InjectionPlan};
 pub use campaign::{
     silent_diagnostics, stderr_diagnostics, Campaign, CampaignConfig, CampaignResult,
-    DiagnosticsFn, RetryPolicy, RunHealth, RunOutcome, RunResult, TraceMode, DEFAULT_RING_CAPACITY,
+    CheckpointStride, DiagnosticsFn, RetryPolicy, RunHealth, RunOutcome, RunResult, TraceMode,
+    DEFAULT_RING_CAPACITY,
 };
 pub use classify::{
     classify, ClassRollup, ClassVerdictCounts, Classification, MarkFilter, MethodClassification,

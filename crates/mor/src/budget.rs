@@ -140,6 +140,18 @@ impl FuelMeter {
         self.reported = true;
     }
 
+    /// Re-seeds the meter with fuel already spent, keeping the budget
+    /// currently in force. Checkpoint restore uses this: the prefix's fuel
+    /// is accounted against whatever budget the *resumed* attempt runs
+    /// under (which may be a scaled retry budget larger than the one the
+    /// recording ran with), so exhaustion triggers at exactly the same
+    /// total spend as a from-scratch run.
+    pub(crate) fn preload_spent(&mut self, spent: u64) {
+        self.spent = spent;
+        self.exhausted = matches!(self.budget.limit(), Some(limit) if spent > limit);
+        self.reported = false;
+    }
+
     /// Charges one dispatched call; returns `false` once the budget is
     /// exhausted (the dispatcher turns that into `BudgetExhausted`).
     pub(crate) fn charge_call(&mut self) -> bool {

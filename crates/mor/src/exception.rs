@@ -60,6 +60,19 @@ pub(crate) fn reset_chains() {
     NEXT_CHAIN.with(|c| c.set(1));
 }
 
+/// The chain-counter watermark: the id the *next* created exception will
+/// receive. Captured into VM checkpoints so a restored run hands out the
+/// same chain ids a from-scratch run would.
+pub(crate) fn chain_watermark() -> u64 {
+    NEXT_CHAIN.with(|c| c.get())
+}
+
+/// Rewinds (or advances) the chain counter to a captured watermark;
+/// checkpoint restore only.
+pub(crate) fn set_chain_watermark(next: u64) {
+    NEXT_CHAIN.with(|c| c.set(next));
+}
+
 impl Exception {
     /// Creates an application-thrown exception.
     pub fn new(ty: ExcId, message: impl Into<String>) -> Self {

@@ -21,10 +21,27 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// A heap object: its class and its field values in schema order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Object {
     class: ClassId,
     fields: Vec<Value>,
+}
+
+// Manual `Clone` so `clone_from` reuses the field vector's allocation:
+// checkpoint restore clones whole object tables into recycled storage, and
+// per-object reallocation would dominate the restore cost.
+impl Clone for Object {
+    fn clone(&self) -> Self {
+        Object {
+            class: self.class,
+            fields: self.fields.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.class = source.class;
+        self.fields.clone_from(&source.fields);
+    }
 }
 
 impl Object {
@@ -73,6 +90,26 @@ struct JournalLog {
     /// Open layers, outermost first: `(writes watermark, allocs
     /// watermark)` at the moment the layer was pushed.
     layers: Vec<(usize, usize)>,
+}
+
+/// A structural copy of the whole heap at a quiescent boundary, captured
+/// by [`Heap::checkpoint`] and reinstated by [`Heap::restore_checkpoint`].
+/// Field values are `Rc`-shared with the heap they were captured from, so
+/// the copy is O(live objects) refcount bumps plus the object table.
+#[derive(Debug, Clone)]
+pub struct HeapCheckpoint {
+    objects: Vec<Option<Object>>,
+    refcounts: Vec<usize>,
+    root_counts: Vec<usize>,
+    live: usize,
+    stats: HeapStats,
+}
+
+impl HeapCheckpoint {
+    /// Number of live objects captured.
+    pub fn live(&self) -> usize {
+        self.live
+    }
 }
 
 /// The managed heap.
@@ -150,6 +187,45 @@ impl Heap {
         self.root_counts.clear();
         self.live = 0;
         self.stats = HeapStats::default();
+        self.journal.writes.clear();
+        self.journal.allocs.clear();
+        self.journal.layers.clear();
+        self.mutations += 1;
+    }
+
+    /// Captures a structural copy of the entire heap: objects, reference
+    /// counts, root counts, and allocation stats. O(live objects); field
+    /// values are `Rc`-shared, so each copied value costs a refcount bump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal layer is open — checkpoints are only meaningful
+    /// at quiescent top-level boundaries, where no undo state is pending.
+    pub fn checkpoint(&self) -> HeapCheckpoint {
+        assert!(
+            self.journal.layers.is_empty(),
+            "heap checkpoint with an open journal layer"
+        );
+        HeapCheckpoint {
+            objects: self.objects.clone(),
+            refcounts: self.refcounts.clone(),
+            root_counts: self.root_counts.clone(),
+            live: self.live,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstates a [`HeapCheckpoint`] wholesale, discarding the current
+    /// contents. Storage is reused via `clone_from` (allocation-light on a
+    /// recycled heap), any open journal layers are dropped, and the
+    /// mutation epoch is bumped so memoized graph data (fingerprints) is
+    /// invalidated rather than silently reused across the restore.
+    pub fn restore_checkpoint(&mut self, ckpt: &HeapCheckpoint) {
+        self.objects.clone_from(&ckpt.objects);
+        self.refcounts.clone_from(&ckpt.refcounts);
+        self.root_counts.clone_from(&ckpt.root_counts);
+        self.live = ckpt.live;
+        self.stats = ckpt.stats;
         self.journal.writes.clear();
         self.journal.allocs.clear();
         self.journal.layers.clear();

@@ -77,6 +77,7 @@ mod ids;
 mod profile;
 mod program;
 mod registry;
+pub mod resume;
 mod trace;
 mod value;
 mod vm;
@@ -86,12 +87,13 @@ pub use class::{ClassBuilder, ClassDef, FieldDef, MethodCfg, MethodDef, CTOR_NAM
 pub use ctx::Ctx;
 pub use error::MorError;
 pub use exception::{Exception, ExceptionTable, MethodResult};
-pub use heap::{AsOfHeap, Heap, HeapStats, Object};
+pub use heap::{AsOfHeap, Heap, HeapCheckpoint, HeapStats, Object};
 pub use hook::{CallHook, CallKind, CallSite, HookChain, HookGuard};
 pub use ids::{ClassId, ExcId, MethodId, ObjId};
 pub use profile::{Lang, Profile};
 pub use program::{FnProgram, Program};
 pub use registry::{Registry, RegistryBuilder};
+pub use resume::{BoundaryProbe, OpKey, OpRecord, OpResult, VmCheckpoint, REPLAY_MISMATCH};
 pub use trace::{RingBufferSink, TraceEvent, TraceSink};
 pub use value::Value;
 pub use vm::{CallStats, Vm};

@@ -1,0 +1,367 @@
+//! Checkpoint-resume support: structural VM checkpoints plus a record /
+//! replay log of *top-level* driver operations.
+//!
+//! A detection sweep runs the same program once per injection point, and
+//! every run re-executes the entire prefix before its target just to arrive
+//! there. The types in this module remove that quadratic prefix cost:
+//!
+//! 1. **Recording.** One observing run executes normally while the VM logs
+//!    every *top-level* (depth-0) operation the driver issues —
+//!    [`crate::Vm::construct`], [`crate::Vm::call`],
+//!    [`crate::Vm::call_by_id`], [`crate::Vm::alloc_raw`] and
+//!    [`crate::Vm::field`] — as an [`OpRecord`]: a validation [`OpKey`] and
+//!    the operation's result. A boundary probe runs after each completed
+//!    top-level op and may capture a [`VmCheckpoint`]: an O(live-objects)
+//!    structural copy of the heap (cheap — `Rc`-shared values clone by
+//!    refcount bump) plus call statistics, the call sequence number, fuel
+//!    spent, and the exception chain-id watermark.
+//! 2. **Replay.** A resumed run re-executes the driver, but each top-level
+//!    op short-circuits: the VM validates the op against the log and
+//!    returns the recorded result without touching the (empty) heap, so the
+//!    driver retraces its recorded control flow at host speed. At the
+//!    *switch* op the VM restores the checkpoint and falls back to live
+//!    execution for the tail.
+//!
+//! Guest bodies never run during a replayed prefix, so no hook fires, no
+//! fuel is charged, and no heap mutation happens — all of that state is
+//! reinstated wholesale by [`crate::Vm::restore`]. Determinism is guarded
+//! by the op keys: if a driver's control flow ever diverges from the
+//! recording (it cannot, for the deterministic programs this runtime
+//! models, but the guard is load-bearing), the VM panics with a message
+//! containing [`REPLAY_MISMATCH`] and the campaign layer falls back to
+//! from-scratch execution for that point.
+
+use crate::exception::Exception;
+use crate::heap::HeapCheckpoint;
+use crate::ids::{MethodId, ObjId};
+use crate::value::Value;
+use crate::vm::{CallStats, Vm};
+use std::rc::Rc;
+
+/// Marker substring of the panic message raised when a replayed top-level
+/// op does not match the recording. Callers that drive replay (the
+/// campaign layer) catch the unwind, look for this sentinel, and fall back
+/// to from-scratch execution.
+pub const REPLAY_MISMATCH: &str = "checkpoint replay mismatch";
+
+/// A probe invoked after every completed top-level op while recording.
+///
+/// Receives the VM (quiescent: depth 0, no open frames or journal layers)
+/// and the number of ops recorded so far; a typical probe captures a
+/// [`VmCheckpoint`] whenever the sweep's point counter crosses a stride
+/// threshold.
+pub type BoundaryProbe = Box<dyn FnMut(&Vm, usize)>;
+
+/// Identity of a top-level driver operation, used to validate replay
+/// against the recording. Deliberately excludes argument *values* — the
+/// drivers are deterministic, so op kind + receiver + name identify the
+/// call site; the key exists to catch harness bugs, not adversarial
+/// drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKey {
+    /// [`crate::Vm::construct`] of the named class.
+    Construct {
+        /// Class name as passed by the driver.
+        class: String,
+    },
+    /// [`crate::Vm::alloc_raw`] of the named class.
+    AllocRaw {
+        /// Class name as passed by the driver.
+        class: String,
+    },
+    /// [`crate::Vm::call`] by method name.
+    Call {
+        /// Receiver object.
+        recv: ObjId,
+        /// Method name as passed by the driver.
+        method: String,
+    },
+    /// [`crate::Vm::call_by_id`].
+    CallById {
+        /// Receiver object.
+        recv: ObjId,
+        /// Global method id.
+        method: MethodId,
+    },
+    /// [`crate::Vm::field`] — a replay-aware driver-level field read.
+    Field {
+        /// Receiver object.
+        recv: ObjId,
+        /// Field name.
+        field: String,
+    },
+}
+
+/// Recorded result of a top-level operation, cloned back to the driver
+/// during replay. Values share storage with the recording run (`Rc`), so a
+/// clone is a refcount bump.
+#[derive(Debug, Clone)]
+pub enum OpResult {
+    /// Result of a [`crate::Vm::construct`].
+    Construct(Result<ObjId, Exception>),
+    /// Result of a [`crate::Vm::call`] / [`crate::Vm::call_by_id`].
+    Method(Result<Value, Exception>),
+    /// Result of a [`crate::Vm::alloc_raw`].
+    Obj(ObjId),
+    /// Result of a [`crate::Vm::field`].
+    Field(Option<Value>),
+}
+
+impl OpResult {
+    pub(crate) fn into_construct(self) -> Result<ObjId, Exception> {
+        match self {
+            OpResult::Construct(r) => r,
+            other => unreachable!("construct key paired with {other:?}"),
+        }
+    }
+
+    pub(crate) fn into_method(self) -> Result<Value, Exception> {
+        match self {
+            OpResult::Method(r) => r,
+            other => unreachable!("call key paired with {other:?}"),
+        }
+    }
+
+    pub(crate) fn into_obj(self) -> ObjId {
+        match self {
+            OpResult::Obj(id) => id,
+            other => unreachable!("alloc key paired with {other:?}"),
+        }
+    }
+
+    pub(crate) fn into_field(self) -> Option<Value> {
+        match self {
+            OpResult::Field(v) => v,
+            other => unreachable!("field key paired with {other:?}"),
+        }
+    }
+}
+
+/// One recorded top-level operation: its identity and its result.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    key: OpKey,
+    result: OpResult,
+}
+
+impl OpRecord {
+    pub(crate) fn new(key: OpKey, result: OpResult) -> Self {
+        OpRecord { key, result }
+    }
+
+    /// The operation's identity key.
+    pub fn key(&self) -> &OpKey {
+        &self.key
+    }
+
+    /// The operation's recorded result.
+    pub fn result(&self) -> &OpResult {
+        &self.result
+    }
+}
+
+/// A structural copy of everything a run can observe of the VM at a
+/// quiescent top-level boundary: the heap (objects, reference counts,
+/// roots, allocation stats), call statistics, the call sequence number,
+/// fuel spent, and the exception chain-id watermark.
+///
+/// Captured by [`crate::Vm::checkpoint`], reinstated by
+/// [`crate::Vm::restore`]. The copy is O(live objects); field values are
+/// `Rc`-shared with the recording run, so per-value cost is a refcount
+/// bump, not a deep copy.
+#[derive(Debug, Clone)]
+pub struct VmCheckpoint {
+    pub(crate) heap: HeapCheckpoint,
+    pub(crate) stats: CallStats,
+    pub(crate) call_seq: u64,
+    pub(crate) fuel_spent: u64,
+    pub(crate) chain_next: u64,
+}
+
+impl VmCheckpoint {
+    /// Number of live objects captured (the dominant size/cost factor).
+    pub fn live_objects(&self) -> usize {
+        self.heap.live()
+    }
+
+    /// Fuel the recording run had spent when this checkpoint was captured.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel_spent
+    }
+}
+
+/// In-flight replay state: the shared op log, the cursor, the op index at
+/// which to switch to live execution, and the checkpoint to restore there.
+#[derive(Debug)]
+pub(crate) struct ReplayState {
+    pub(crate) ops: Rc<Vec<OpRecord>>,
+    pub(crate) cursor: usize,
+    pub(crate) switch: usize,
+    pub(crate) checkpoint: Rc<VmCheckpoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::registry::{Registry, RegistryBuilder};
+    use std::cell::RefCell;
+
+    fn registry() -> Registry {
+        let mut rb = RegistryBuilder::new(Profile::java());
+        rb.class("Counter", |c| {
+            c.field("count", Value::Int(0));
+            c.ctor(|ctx, this, args| {
+                if let Some(Value::Int(start)) = args.first() {
+                    ctx.set(this, "count", Value::Int(*start));
+                }
+                Ok(Value::Null)
+            });
+            c.method("increment", |ctx, this, _| {
+                let v = ctx.get_int(this, "count");
+                ctx.set(this, "count", Value::Int(v + 1));
+                Ok(Value::Int(v + 1))
+            });
+            c.method("fail", |ctx, this, _| {
+                let v = ctx.get_int(this, "count");
+                ctx.set(this, "count", Value::Int(v + 100));
+                Err(ctx.exception("RuntimeException", "boom"))
+            });
+        });
+        rb.build()
+    }
+
+    /// A driver whose control flow depends on call results, thrown
+    /// exceptions, and a driver-level field read — everything a replayed
+    /// prefix must reproduce.
+    fn drive(vm: &mut Vm) {
+        let c = vm.construct("Counter", &[Value::Int(3)]).unwrap();
+        vm.root(c);
+        vm.call(c, "increment", &[]).unwrap();
+        let _ = vm.call(c, "fail", &[]);
+        if vm.field(c, "count") == Some(Value::Int(104)) {
+            vm.call(c, "increment", &[]).unwrap();
+        }
+        let _ = vm.call(c, "fail", &[]);
+        vm.call(c, "increment", &[]).unwrap();
+    }
+
+    type Probe = (Vec<Value>, Vec<u64>, u64, u64, u64);
+
+    fn state(vm: &Vm) -> Probe {
+        let fields: Vec<Value> = vm
+            .heap()
+            .iter()
+            .flat_map(|(_, o)| o.fields().iter().cloned())
+            .collect();
+        (
+            fields,
+            vm.stats().calls.clone(),
+            vm.stats().exceptions_seen,
+            vm.fuel_spent(),
+            crate::exception::chain_watermark(),
+        )
+    }
+
+    #[test]
+    fn resume_from_every_boundary_matches_from_scratch() {
+        let reg = Rc::new(registry());
+        let mut vm = Vm::from_shared_registry(reg);
+
+        // Recording run, checkpointing at every op boundary.
+        type CkptLog = Rc<RefCell<Vec<(usize, Rc<VmCheckpoint>)>>>;
+        let ckpts: CkptLog = Rc::default();
+        vm.start_recording();
+        {
+            let ckpts = Rc::clone(&ckpts);
+            vm.set_boundary_probe(Some(Box::new(move |vm, n| {
+                ckpts.borrow_mut().push((n, Rc::new(vm.checkpoint())));
+            })));
+        }
+        drive(&mut vm);
+        let ops = Rc::new(vm.finish_recording().expect("recording was active"));
+        let recorded = state(&vm);
+        assert!(!ops.is_empty());
+        assert_eq!(ckpts.borrow().len(), ops.len());
+
+        // From-scratch reference on the recycled VM.
+        vm.reset_for_run();
+        drive(&mut vm);
+        let scratch = state(&vm);
+        assert_eq!(scratch, recorded, "recording must not perturb the run");
+
+        // Resume from every boundary except the one after the final op (a
+        // full-log checkpoint has no tail to go live in; schedulers never
+        // select one).
+        for (switch, ckpt) in ckpts.borrow().iter() {
+            if *switch == ops.len() {
+                continue;
+            }
+            vm.reset_for_run();
+            vm.begin_replay(Rc::clone(&ops), *switch, Rc::clone(ckpt));
+            drive(&mut vm);
+            assert!(!vm.replay_active(), "switch {switch} reached live tail");
+            assert_eq!(state(&vm), scratch, "resume at op {switch} diverged");
+        }
+    }
+
+    #[test]
+    fn driver_finishing_mid_replay_is_detectable() {
+        let reg = Rc::new(registry());
+        let mut vm = Vm::from_shared_registry(reg);
+        vm.start_recording();
+        drive(&mut vm);
+        let ops = Rc::new(vm.finish_recording().unwrap());
+        let full = Rc::new(vm.checkpoint());
+
+        vm.reset_for_run();
+        vm.begin_replay(Rc::clone(&ops), ops.len(), full);
+        drive(&mut vm);
+        assert!(
+            vm.replay_active(),
+            "the whole run replayed without going live"
+        );
+        vm.clear_replay();
+        assert!(!vm.replay_active());
+    }
+
+    #[test]
+    fn replay_mismatch_panics_with_the_sentinel() {
+        let reg = Rc::new(registry());
+        let mut vm = Vm::from_shared_registry(reg);
+        vm.start_recording();
+        drive(&mut vm);
+        let ops = Rc::new(vm.finish_recording().unwrap());
+        let ckpt = Rc::new(vm.checkpoint());
+
+        vm.reset_for_run();
+        vm.begin_replay(Rc::clone(&ops), ops.len(), ckpt);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The recording starts with a construct; issuing a different
+            // class name must trip the key validator.
+            let _ = vm.construct("Nope", &[]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(REPLAY_MISMATCH), "got: {msg}");
+        assert!(!vm.replay_active(), "mismatch disarms replay");
+    }
+
+    #[test]
+    fn restore_accounts_fuel_against_the_current_budget() {
+        let reg = Rc::new(registry());
+        let mut vm = Vm::from_shared_registry(reg);
+        vm.set_budget(crate::Budget::fuel(10_000));
+        drive(&mut vm);
+        let ckpt = vm.checkpoint();
+        let spent = vm.fuel_spent();
+        assert!(spent > 0);
+
+        vm.reset_for_run();
+        vm.set_budget(crate::Budget::fuel(40_000)); // a scaled retry budget
+        vm.restore(&ckpt);
+        assert_eq!(vm.fuel_spent(), spent);
+        assert_eq!(vm.budget(), crate::Budget::fuel(40_000));
+        assert!(!vm.fuel_exhausted());
+    }
+}

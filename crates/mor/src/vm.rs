@@ -8,6 +8,9 @@ use crate::heap::Heap;
 use crate::hook::{CallHook, CallKind, CallSite};
 use crate::ids::{ExcId, MethodId, ObjId};
 use crate::registry::Registry;
+use crate::resume::{
+    BoundaryProbe, OpKey, OpRecord, OpResult, ReplayState, VmCheckpoint, REPLAY_MISMATCH,
+};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::value::Value;
 use std::cell::RefCell;
@@ -66,6 +69,13 @@ pub struct Vm {
     depth: usize,
     fuel: FuelMeter,
     tracer: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// Recording mode: the log of completed top-level ops, if active.
+    op_log: Option<Vec<OpRecord>>,
+    /// Invoked after each recorded top-level op (checkpoint capture).
+    boundary_probe: Option<BoundaryProbe>,
+    /// Replay mode: short-circuits top-level ops from a recorded log until
+    /// the switch index, then restores the paired checkpoint.
+    replay: Option<ReplayState>,
     /// Preinterned id of the distinguished `BudgetExhausted` exception;
     /// cached so dispatch can exempt it from declaration-violation
     /// accounting without a name lookup per propagation step.
@@ -101,6 +111,9 @@ impl Vm {
             depth: 0,
             fuel: FuelMeter::new(Budget::unlimited()),
             tracer: None,
+            op_log: None,
+            boundary_probe: None,
+            replay: None,
             budget_exc,
         }
     }
@@ -167,6 +180,9 @@ impl Vm {
         self.stats.declaration_violations = 0;
         self.stats.exceptions_seen = 0;
         self.fuel = FuelMeter::new(Budget::unlimited());
+        self.op_log = None;
+        self.boundary_probe = None;
+        self.replay = None;
     }
 
     /// The budget currently in force.
@@ -264,6 +280,26 @@ impl Vm {
     ///
     /// Panics if `class_name` is not registered (host error).
     pub fn construct(&mut self, class_name: &str, args: &[Value]) -> Result<ObjId, Exception> {
+        if self.replay.is_some() {
+            if let Some(r) = self.replay_step(|| OpKey::Construct {
+                class: class_name.to_owned(),
+            }) {
+                return r.into_construct();
+            }
+        }
+        let result = self.construct_live(class_name, args);
+        if self.recording_top_level() {
+            self.record_op(
+                OpKey::Construct {
+                    class: class_name.to_owned(),
+                },
+                OpResult::Construct(result.clone()),
+            );
+        }
+        result
+    }
+
+    fn construct_live(&mut self, class_name: &str, args: &[Value]) -> Result<ObjId, Exception> {
         let class = self
             .registry
             .class_by_name(class_name)
@@ -286,6 +322,13 @@ impl Vm {
     ///
     /// Panics if `class_name` is not registered (host error).
     pub fn alloc_raw(&mut self, class_name: &str) -> ObjId {
+        if self.depth == 0 && self.replay.is_some() {
+            if let Some(r) = self.replay_step(|| OpKey::AllocRaw {
+                class: class_name.to_owned(),
+            }) {
+                return r.into_obj();
+            }
+        }
         let class = self
             .registry
             .class_by_name(class_name)
@@ -294,6 +337,14 @@ impl Vm {
         self.charge_heap_op();
         let id = self.heap.alloc(&class);
         self.root_in_frame(id);
+        if self.recording_top_level() {
+            self.record_op(
+                OpKey::AllocRaw {
+                    class: class_name.to_owned(),
+                },
+                OpResult::Obj(id),
+            );
+        }
         id
     }
 
@@ -309,6 +360,31 @@ impl Vm {
     /// Panics if `recv` is dead or its class has no such method (host
     /// errors — guest-level null dereference is [`Ctx::call_value`]).
     pub fn call(&mut self, recv: ObjId, method: &str, args: &[Value]) -> MethodResult {
+        // Replay interception must come *before* receiver resolution: the
+        // heap is empty while a replayed prefix is in flight, so touching
+        // `recv` would be a false "dead object" host error.
+        if self.replay.is_some() {
+            if let Some(r) = self.replay_step(|| OpKey::Call {
+                recv,
+                method: method.to_owned(),
+            }) {
+                return r.into_method();
+            }
+        }
+        let result = self.call_live(recv, method, args);
+        if self.recording_top_level() {
+            self.record_op(
+                OpKey::Call {
+                    recv,
+                    method: method.to_owned(),
+                },
+                OpResult::Method(result.clone()),
+            );
+        }
+        result
+    }
+
+    fn call_live(&mut self, recv: ObjId, method: &str, args: &[Value]) -> MethodResult {
         let obj = self
             .heap
             .get(recv)
@@ -327,17 +403,223 @@ impl Vm {
     ///
     /// Propagates guest exceptions, as [`Vm::call`].
     pub fn call_by_id(&mut self, mid: MethodId, recv: ObjId, args: &[Value]) -> MethodResult {
+        if self.depth == 0 && self.replay.is_some() {
+            if let Some(r) = self.replay_step(|| OpKey::CallById { recv, method: mid }) {
+                return r.into_method();
+            }
+        }
         let kind = if self.registry.method(mid).is_ctor {
             CallKind::Ctor
         } else {
             CallKind::Method
         };
-        self.dispatch(mid, recv, args, kind)
+        let result = self.dispatch(mid, recv, args, kind);
+        if self.recording_top_level() {
+            self.record_op(
+                OpKey::CallById { recv, method: mid },
+                OpResult::Method(result.clone()),
+            );
+        }
+        result
+    }
+
+    /// Reads a field at driver level, like `vm.heap().field(..)`, but
+    /// replay-aware: during a replayed prefix the recorded value is
+    /// returned instead of touching the (empty) heap. Drivers whose
+    /// control flow depends on heap reads must use this instead of going
+    /// through [`Vm::heap`] directly, or checkpoint-resume cannot retrace
+    /// them. Charges no fuel, exactly like the direct heap read.
+    pub fn field(&mut self, id: ObjId, name: &str) -> Option<Value> {
+        if self.depth == 0 && self.replay.is_some() {
+            if let Some(r) = self.replay_step(|| OpKey::Field {
+                recv: id,
+                field: name.to_owned(),
+            }) {
+                return r.into_field();
+            }
+        }
+        let value = self.heap.field(id, name);
+        if self.recording_top_level() {
+            self.record_op(
+                OpKey::Field {
+                    recv: id,
+                    field: name.to_owned(),
+                },
+                OpResult::Field(value.clone()),
+            );
+        }
+        value
     }
 
     /// Current call nesting depth (0 outside any guest call).
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Begins recording top-level driver operations (see
+    /// [`crate::resume`]). Recording changes nothing observable about the
+    /// run: ops execute live and their keys/results are logged on the side.
+    pub fn start_recording(&mut self) {
+        self.op_log = Some(Vec::new());
+    }
+
+    /// `true` iff a recording is in progress.
+    pub fn recording(&self) -> bool {
+        self.op_log.is_some()
+    }
+
+    /// Ends recording, returning the op log (also detaches the boundary
+    /// probe). `None` if no recording was in progress.
+    pub fn finish_recording(&mut self) -> Option<Vec<OpRecord>> {
+        self.boundary_probe = None;
+        self.op_log.take()
+    }
+
+    /// Installs (or removes) the boundary probe invoked after each
+    /// recorded top-level op. The probe sees the VM quiescent (depth 0, no
+    /// open frames or journal layers) and the count of ops recorded so far
+    /// — the natural place to capture strided [`VmCheckpoint`]s.
+    pub fn set_boundary_probe(&mut self, probe: Option<BoundaryProbe>) {
+        self.boundary_probe = probe;
+    }
+
+    /// Captures a structural checkpoint of everything a run can observe of
+    /// this VM: heap, call statistics, call sequence, fuel spent, and the
+    /// exception chain-id watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the VM is quiescent: depth 0, no live frames, and no
+    /// open heap journal layer. (The interpreter's call stack is host
+    /// stack, so checkpoints are only well-defined at top-level call
+    /// boundaries — which is exactly where the boundary probe runs.)
+    pub fn checkpoint(&self) -> VmCheckpoint {
+        assert_eq!(self.depth, 0, "checkpoint inside a guest call");
+        assert!(self.frame_starts.is_empty(), "checkpoint with live frames");
+        assert_eq!(
+            self.heap.journal_depth(),
+            0,
+            "checkpoint with an open journal layer"
+        );
+        VmCheckpoint {
+            heap: self.heap.checkpoint(),
+            stats: self.stats.clone(),
+            call_seq: self.call_seq,
+            fuel_spent: self.fuel.spent(),
+            chain_next: crate::exception::chain_watermark(),
+        }
+    }
+
+    /// Reinstates a [`VmCheckpoint`] wholesale. The heap contents, call
+    /// statistics, call sequence, and chain watermark come back exactly as
+    /// captured; fuel comes back as *spent* against whatever budget is
+    /// currently in force (so resumed retry attempts under scaled budgets
+    /// account the prefix correctly). The heap mutation epoch is bumped,
+    /// invalidating any memoized fingerprints. Storage is reused where
+    /// possible — restore is allocation-light on a recycled VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called inside a guest call.
+    pub fn restore(&mut self, ckpt: &VmCheckpoint) {
+        assert_eq!(self.depth, 0, "restore inside a guest call");
+        assert!(self.frame_starts.is_empty(), "restore with live frames");
+        self.heap.restore_checkpoint(&ckpt.heap);
+        self.stats.calls.clone_from(&ckpt.stats.calls);
+        self.stats.declaration_violations = ckpt.stats.declaration_violations;
+        self.stats.exceptions_seen = ckpt.stats.exceptions_seen;
+        self.call_seq = ckpt.call_seq;
+        self.fuel.preload_spent(ckpt.fuel_spent);
+        crate::exception::set_chain_watermark(ckpt.chain_next);
+    }
+
+    /// Arms replay: top-level ops `0..switch` short-circuit to their
+    /// recorded results, then `checkpoint` is restored and execution goes
+    /// live. Must be installed before the driver starts (on a freshly
+    /// reset VM) and is mutually exclusive with recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` exceeds the log length or a recording is active.
+    pub fn begin_replay(
+        &mut self,
+        ops: Rc<Vec<OpRecord>>,
+        switch: usize,
+        checkpoint: Rc<VmCheckpoint>,
+    ) {
+        assert!(switch <= ops.len(), "replay switch beyond the op log");
+        assert!(self.op_log.is_none(), "replay while recording");
+        self.replay = Some(ReplayState {
+            ops,
+            cursor: 0,
+            switch,
+            checkpoint,
+        });
+    }
+
+    /// `true` while a replay is armed and has not yet reached its switch
+    /// point. A driver that *finishes* with replay still active means the
+    /// recorded log did not match this execution — callers must discard
+    /// the run and fall back to from-scratch execution.
+    pub fn replay_active(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Disarms any in-flight replay (fallback path cleanup).
+    pub fn clear_replay(&mut self) {
+        self.replay = None;
+    }
+
+    /// Replay interception for one top-level op: returns the recorded
+    /// result while replaying the prefix, or `None` once live (restoring
+    /// the checkpoint on the transition). Panics with [`REPLAY_MISMATCH`]
+    /// in the message if the op does not match the recording.
+    fn replay_step(&mut self, make_key: impl FnOnce() -> OpKey) -> Option<OpResult> {
+        self.replay.as_ref()?;
+        let rs = self.replay.as_mut().expect("checked above");
+        if rs.cursor >= rs.switch {
+            let ckpt = Rc::clone(&rs.checkpoint);
+            self.replay = None;
+            self.restore(&ckpt);
+            return None;
+        }
+        let key = make_key();
+        let rec = &rs.ops[rs.cursor];
+        if *rec.key() != key {
+            let msg = format!(
+                "{REPLAY_MISMATCH}: op {} was recorded as {:?} but the driver issued {:?}",
+                rs.cursor,
+                rec.key(),
+                key
+            );
+            self.replay = None;
+            panic!("{msg}");
+        }
+        let result = rec.result().clone();
+        rs.cursor += 1;
+        Some(result)
+    }
+
+    /// Appends one completed top-level op to the recording and runs the
+    /// boundary probe. Only called at depth 0 with recording active.
+    fn record_op(&mut self, key: OpKey, result: OpResult) {
+        let Some(log) = &mut self.op_log else { return };
+        log.push(OpRecord::new(key, result));
+        let ops_done = log.len();
+        if let Some(mut probe) = self.boundary_probe.take() {
+            probe(self, ops_done);
+            // A probe installed mid-probe would be a re-entrancy bug; keep
+            // the original unless the probe replaced itself.
+            if self.boundary_probe.is_none() {
+                self.boundary_probe = Some(probe);
+            }
+        }
+    }
+
+    /// `true` when the current top-level op should be recorded.
+    #[inline]
+    fn recording_top_level(&self) -> bool {
+        self.depth == 0 && self.op_log.is_some()
     }
 
     /// Roots `id` in the innermost live frame; no-op at driver level, where

@@ -402,6 +402,44 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_restore_bumps_epoch_and_reseeded_cache_agrees() {
+        // Checkpoint-resume sweeps restore whole heaps between runs
+        // (`Vm::restore`). The fingerprint-cache protocol — drop the cache
+        // whenever `Heap::mutation_epoch` moved — must treat a restore as
+        // a mutation, or a cache filled against the pre-restore heap would
+        // silently poison post-restore walks.
+        let mut vm = Vm::new(registry());
+        let a = node(&mut vm, 1);
+        let b = node(&mut vm, 2);
+        vm.heap_mut().set_field(a, "next", Value::Ref(b)).unwrap();
+
+        let mut cache = FingerprintCache::new();
+        let empty = HashSet::new();
+        let fp_before = graph_fingerprint(vm.heap(), &[a], &mut cache, &empty);
+        let cp = vm.checkpoint();
+        let epoch_at_cp = vm.heap().mutation_epoch();
+
+        // Diverge: rewire the graph so the cached entries go stale.
+        vm.heap_mut().set_field(a, "next", Value::Null).unwrap();
+        vm.heap_mut().set_field(b, "value", Value::Int(9)).unwrap();
+        assert_ne!(fingerprint_of_roots(vm.heap(), &[a]), fp_before);
+
+        vm.restore(&cp);
+        assert_ne!(
+            vm.heap().mutation_epoch(),
+            epoch_at_cp,
+            "restore must advance the epoch so epoch-keyed caches drop"
+        );
+
+        // Follow the protocol: epoch moved, so reseed the cache. The
+        // restored heap then fingerprints identically to the original.
+        cache.clear();
+        let fp_after = graph_fingerprint(vm.heap(), &[a], &mut cache, &empty);
+        assert_eq!(fp_after, fp_before);
+        assert_eq!(cache.len(), 2, "walk re-memoized the restored objects");
+    }
+
+    #[test]
     fn dangling_refs_fingerprint_like_the_trace() {
         let mut vm = Vm::new(registry());
         let a = node(&mut vm, 1);
